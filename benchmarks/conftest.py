@@ -1,0 +1,44 @@
+"""Benchmark-suite plumbing.
+
+Every module regenerates one table or figure from the paper's evaluation
+(see DESIGN.md's per-experiment index). The pytest-benchmark fixture
+times the *simulation run* (wall clock); the scientifically meaningful
+numbers are the simulated metrics, which are printed as a table (run
+with ``-s``) and attached to ``benchmark.extra_info``.
+
+Shape assertions check orderings and coarse ratio bands against the
+paper, with tolerance for the simulated substrate (EXPERIMENTS.md
+documents the expected deviations).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+FS_SET = ("Ext4-DAX", "Libnvmmio", "NOVA", "MGSP")
+
+#: file size for FIO-style runs (paper: 1 GB; scaled for simulation)
+FSIZE = 16 << 20
+NOPS = 300
+
+
+def run_and_report(benchmark, fn, report=None):
+    """Run *fn* once under pytest-benchmark and print its result table."""
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    if report is not None:
+        report(result)
+    return result
+
+
+@pytest.fixture
+def bench_table(benchmark, capsys):
+    """Run the experiment once; print its rendered table."""
+
+    def _run(fn):
+        result = benchmark.pedantic(fn, rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(result if isinstance(result, str) else result)
+        return result
+
+    return _run

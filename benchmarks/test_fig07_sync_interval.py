@@ -1,0 +1,41 @@
+"""Figure 7: 4 KB sequential write vs fsync frequency.
+
+Paper: Libnvmmio's throughput drops sharply even at one fsync per 100
+writes (checkpoint double-write); Ext4-DAX drops when every op is
+synced; MGSP is essentially flat across sync intervals.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FSIZE, NOPS
+from repro.bench.harness import Table, run_one
+from repro.workloads.fio import FioJob
+
+INTERVALS = ((1, "fsync-1"), (10, "fsync-10"), (100, "fsync-100"), (0, "no-sync"))
+SYSTEMS = ("Ext4-DAX", "Libnvmmio", "NOVA", "MGSP")
+
+
+def run_experiment() -> Table:
+    table = Table(title="Fig 7 — 4KB seq write MB/s vs sync interval")
+    for name in SYSTEMS:
+        for interval, label in INTERVALS:
+            job = FioJob(op="write", bs=4096, fsize=FSIZE, fsync=interval, nops=NOPS)
+            table.set(name, label, run_one(name, job).throughput_mb_s)
+    return table
+
+
+def test_fig07(bench_table):
+    table = bench_table(run_experiment)
+    v = table.value
+
+    # MGSP nearly flat: <= ~25% spread between fsync-1 and no-sync.
+    assert v("MGSP", "fsync-1") > 0.75 * v("MGSP", "no-sync")
+    # Libnvmmio still far below its unsynced speed at fsync-100.
+    assert v("Libnvmmio", "fsync-100") < 0.6 * v("Libnvmmio", "no-sync")
+    # Ext4-DAX recovers most of its speed once syncs are rare.
+    assert v("Ext4-DAX", "fsync-100") > 0.8 * v("Ext4-DAX", "no-sync")
+    # NOVA only pays the fsync syscall itself (data is durable per op).
+    assert v("NOVA", "fsync-1") > 0.65 * v("NOVA", "no-sync")
+    # At per-op sync, MGSP wins.
+    for name in ("Ext4-DAX", "Libnvmmio"):
+        assert v("MGSP", "fsync-1") > 2 * v(name, "fsync-1")

@@ -1,0 +1,48 @@
+"""Figure 9: 4 KB mixed read/write, normalized to Ext4-DAX.
+
+Paper: Libnvmmio gains ~50% at a 1:9 write:read mix but falls below
+Ext4-DAX once writes reach 50%; NOVA holds +58.7~92.2%; MGSP holds
++113.1~141.3% across ratios.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FSIZE, FS_SET, NOPS
+from repro.bench.harness import Table, run_one
+from repro.workloads.fio import FioJob
+
+RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def run_experiment() -> Table:
+    table = Table(title="Fig 9 — 4KB mixed rw, throughput normalized to Ext4-DAX")
+    for ratio in RATIOS:
+        col = f"{int(ratio * 100)}%w"
+        base = None
+        for name in FS_SET:
+            job = FioJob(
+                op="randrw", bs=4096, fsize=FSIZE, fsync=1, write_ratio=ratio, nops=NOPS
+            )
+            mbps = run_one(name, job).throughput_mb_s
+            if name == "Ext4-DAX":
+                base = mbps
+            table.set(name, col, mbps / base)
+    return table
+
+
+def test_fig09(bench_table):
+    table = bench_table(run_experiment)
+    v = table.value
+
+    for ratio in RATIOS:
+        col = f"{int(ratio * 100)}%w"
+        # MGSP is the clear winner at every mix.
+        assert v("MGSP", col) > v("NOVA", col) > 1.0
+        assert v("MGSP", col) > 1.6, (col, v("MGSP", col))
+    # Libnvmmio: beats DAX when read-dominant, loses once write-heavy.
+    assert v("Libnvmmio", "10%w") > 1.0
+    assert v("Libnvmmio", "70%w") < 1.0
+    assert v("Libnvmmio", "90%w") < 1.0
+    # NOVA holds a solid stable band.
+    for ratio in RATIOS:
+        assert 1.2 <= v("NOVA", f"{int(ratio * 100)}%w") <= 2.6

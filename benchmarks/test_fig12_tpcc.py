@@ -1,0 +1,52 @@
+"""Figure 12: TPC-C on the embedded database (WAL and OFF modes).
+
+Paper: in WAL mode MGSP performs similarly to Ext4-DAX and Libnvmmio;
+in OFF mode MGSP improves by 36.5% over Ext4-DAX, 41.3% over Libnvmmio
+and 14.6% over NOVA. Our SQL CPU model compresses the OFF-mode
+magnitudes (see EXPERIMENTS.md) but preserves the ordering
+MGSP >= NOVA > Ext4-DAX > Libnvmmio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FS_SET
+from repro.bench.harness import Table
+from repro.bench.registry import make_fs
+from repro.workloads.tpcc import run_tpcc
+
+TXNS = 120
+
+
+def run_matrix(journal_mode: str) -> Table:
+    table = Table(title=f"Fig 12 — TPC-C transactions/min (journal={journal_mode})")
+    for name in FS_SET:
+        fs = make_fs(name, device_size=192 << 20)
+        result = run_tpcc(fs, journal_mode=journal_mode, transactions=TXNS)
+        table.set(name, "tpm", result.tpm)
+    return table
+
+
+def test_fig12_wal_similar(bench_table):
+    table = bench_table(lambda: run_matrix("wal"))
+    v = table.value
+    # WAL mode: MGSP ~ Ext4-DAX ~ NOVA ("performs similarly").
+    assert 0.95 <= v("MGSP", "tpm") / v("Ext4-DAX", "tpm") <= 1.25
+    assert 0.95 <= v("MGSP", "tpm") / v("NOVA", "tpm") <= 1.25
+    # Libnvmmio trails (per-op sync penalty on WAL writes).
+    assert v("MGSP", "tpm") > v("Libnvmmio", "tpm")
+
+
+def test_fig12_off_mgsp_wins(bench_table):
+    table = bench_table(lambda: run_matrix("off"))
+    v = table.value
+    mgsp = v("MGSP", "tpm")
+    # Ordering matches the paper: MGSP >= NOVA > Ext4-DAX > Libnvmmio.
+    assert mgsp >= v("NOVA", "tpm") * 0.98
+    assert v("NOVA", "tpm") > v("Ext4-DAX", "tpm")
+    assert v("Ext4-DAX", "tpm") > v("Libnvmmio", "tpm")
+    # MGSP ahead of Ext4-DAX (paper +36.5%; compressed here).
+    assert mgsp / v("Ext4-DAX", "tpm") - 1 >= 0.03
+    # MGSP ahead of Libnvmmio by a wide margin.
+    assert mgsp / v("Libnvmmio", "tpm") - 1 >= 0.15

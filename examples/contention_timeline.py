@@ -1,0 +1,56 @@
+"""Visualize WHY the scalability results (Fig 10) look the way they do.
+
+Runs the same 8-thread, 1 KB synchronized-write burst against Ext4-DAX
+(one journal, group commit) and MGSP (fine-grained MGL locks), then
+renders each replay as an ASCII Gantt chart: '=' compute, '#' media I/O,
+'.' waiting on a lock or device channel.
+
+Run:  python examples/contention_timeline.py
+"""
+
+from repro.bench.registry import make_fs
+from repro.inspect import render_timeline
+from repro.sim.engine import ReplayEngine
+from repro.workloads.fio import FioJob, _offsets, _prefill
+
+
+def collect_traces(fs_name: str, threads: int = 8, ops_per_thread: int = 6):
+    fs = make_fs(fs_name, device_size=64 << 20)
+    job = FioJob(op="write", bs=1024, fsize=8 << 20, fsync=1, threads=threads)
+    handle = fs.create("hot.dat", capacity=job.fsize)
+    _prefill(fs, handle, job.fsize)
+
+    streams = [[] for _ in range(threads)]
+    offsets = [_offsets(job, t, ops_per_thread) for t in range(threads)]
+    for i in range(ops_per_thread):
+        for t in range(threads):
+            if hasattr(fs, "current_thread"):
+                fs.current_thread = t
+            handle.write(offsets[t][i], b"\xab" * job.bs)
+            handle.fsync()
+            streams[t].extend(fs.take_traces())
+    if hasattr(fs, "end_thread"):
+        for t in range(threads):
+            fs.end_thread(t)
+            streams[t].extend(fs.take_traces())
+    return fs, streams
+
+
+def main() -> None:
+    for name in ("Ext4-DAX", "MGSP"):
+        fs, streams = collect_traces(name)
+        result = ReplayEngine(fs.timing).run(streams, record_timeline=True)
+        total_ops = sum(len(s) for s in streams)
+        print(f"\n=== {name}: 8 threads x 6 synchronized 1K writes "
+              f"(makespan {result.makespan_ns / 1e3:.1f} us, "
+              f"lock wait {result.total_lock_wait_ns / 1e3:.1f} us) ===")
+        print(render_timeline(result, width=100))
+    print(
+        "\nExt4-DAX rows spend their life dotted — every fsync funnels through\n"
+        "the journal's exclusive commit. MGSP rows stay busy: per-node MGL\n"
+        "locks rarely collide, so only the NVM channels are shared."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Mini FIO sweep: the paper's Fig 8 in one script.
+
+Runs sequential writes at several block sizes against all four file
+systems (each op followed by fsync, like the paper's fair comparison)
+and prints throughput plus MGSP's speedup.
+
+Run:  python examples/fio_comparison.py [--random] [--threads N]
+"""
+
+import argparse
+
+from repro.bench.harness import run_one
+from repro.util import fmt_size
+from repro.workloads.fio import FioJob
+
+SIZES = [512, 1024, 4096, 16384, 65536]
+SYSTEMS = ["Ext4-DAX", "Libnvmmio", "NOVA", "MGSP"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--random", action="store_true", help="random offsets")
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument("--nops", type=int, default=300, help="operations per run")
+    args = parser.parse_args()
+    op = "randwrite" if args.random else "write"
+
+    print(f"{op}, fsync per op, {args.threads} thread(s) — MB/s (simulated)\n")
+    header = f"{'bs':>6} " + "".join(f"{name:>12}" for name in SYSTEMS) + f"{'MGSP/DAX':>10}"
+    print(header)
+    print("-" * len(header))
+    for bs in SIZES:
+        job = FioJob(
+            op=op,
+            bs=bs,
+            fsize=16 << 20,
+            fsync=1,
+            threads=args.threads,
+            nops=args.nops * args.threads,
+        )
+        row = {name: run_one(name, job).throughput_mb_s for name in SYSTEMS}
+        cells = "".join(f"{row[name]:>12.0f}" for name in SYSTEMS)
+        print(f"{fmt_size(bs):>6} {cells}{row['MGSP'] / row['Ext4-DAX']:>9.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench                 # run everything, print tables
+    python -m repro.bench fig08-write tab02
+    python -m repro.bench --list
+    python -m repro.bench -o report.txt   # also write a report file
+
+This is the reproduction's equivalent of the artifact's
+``evaluation/fio/scripts/run_all.sh``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import EXPERIMENTS, run_all
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment names (default: all)")
+    parser.add_argument("--list", action="store_true", help="list experiment names")
+    parser.add_argument("-o", "--output", help="write the report to this file")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    sections = []
+    start = time.time()
+    for name, text in run_all(
+        args.experiments or None,
+        progress=lambda n: print(f"[{time.time() - start:6.1f}s] running {n} ...", file=sys.stderr),
+    ):
+        block = f"\n{'=' * 70}\n{text}\n"
+        print(block)
+        sections.append(block)
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write("MGSP reproduction report\n")
+            fh.writelines(sections)
+        print(f"report written to {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

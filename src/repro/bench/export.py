@@ -1,0 +1,86 @@
+"""Machine-readable export of experiment results.
+
+Tables render for humans; CI and plotting want structure. This module
+converts :class:`~repro.bench.harness.Table` objects to dicts / JSON /
+CSV, and can diff two exported runs to flag regressions — useful when
+hacking on the timing model or the MGSP internals.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from repro.bench.harness import Table
+
+
+def table_to_dict(table: Table) -> Dict:
+    rows = {}
+    for row, cells in table.rows.items():
+        parsed = {}
+        for col, value in cells.items():
+            try:
+                parsed[col] = float(value)
+            except (TypeError, ValueError):
+                parsed[col] = value
+        rows[row] = parsed
+    return {"title": table.title, "columns": list(table.columns), "rows": rows}
+
+
+def table_to_json(table: Table, indent: int = 2) -> str:
+    return json.dumps(table_to_dict(table), indent=indent)
+
+
+def table_to_csv(table: Table) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([""] + list(table.columns))
+    for row, cells in table.rows.items():
+        writer.writerow([row] + [cells.get(col, "") for col in table.columns])
+    return buffer.getvalue()
+
+
+def export_run(tables: Iterable[Tuple[str, Table]]) -> str:
+    """Serialize a whole experiment run (name -> table) as JSON."""
+    return json.dumps(
+        {name: table_to_dict(table) for name, table in tables}, indent=2
+    )
+
+
+def diff_runs(
+    baseline_json: str,
+    candidate_json: str,
+    tolerance: float = 0.10,
+) -> List[str]:
+    """Compare two exported runs; report cells that moved more than
+    *tolerance* (relative). Returns human-readable finding strings."""
+    baseline = json.loads(baseline_json)
+    candidate = json.loads(candidate_json)
+    findings: List[str] = []
+    for name, base_table in baseline.items():
+        cand_table = candidate.get(name)
+        if cand_table is None:
+            findings.append(f"{name}: missing from candidate run")
+            continue
+        for row, cells in base_table["rows"].items():
+            for col, base_value in cells.items():
+                if not isinstance(base_value, (int, float)):
+                    continue
+                cand_value = cand_table["rows"].get(row, {}).get(col)
+                if cand_value is None:
+                    findings.append(f"{name}: {row}/{col} missing")
+                    continue
+                if base_value == 0:
+                    continue
+                drift = (cand_value - base_value) / abs(base_value)
+                if abs(drift) > tolerance:
+                    findings.append(
+                        f"{name}: {row}/{col} drifted {drift:+.1%} "
+                        f"({base_value:g} -> {cand_value:g})"
+                    )
+    for name in candidate:
+        if name not in baseline:
+            findings.append(f"{name}: new in candidate run")
+    return findings

@@ -1,0 +1,75 @@
+"""Shared experiment plumbing: run FIO sweeps, render result tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.registry import device_size_for, make_fs
+from repro.core import MgspConfig
+from repro.workloads.fio import FioJob, FioResult, run_fio
+
+
+@dataclass
+class Table:
+    """A printable result grid: rows x columns -> formatted cell."""
+
+    title: str
+    columns: List[str] = field(default_factory=list)
+    rows: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def set(self, row: str, col: str, value) -> None:
+        if col not in self.columns:
+            self.columns.append(col)
+        self.rows.setdefault(row, {})[col] = value if isinstance(value, str) else f"{value:.1f}"
+
+    def render(self) -> str:
+        name_w = max([len(r) for r in self.rows] + [8])
+        col_w = {c: max(len(c), 9) for c in self.columns}
+        out = [self.title, ""]
+        header = " " * name_w + "  " + "  ".join(c.rjust(col_w[c]) for c in self.columns)
+        out.append(header)
+        out.append("-" * len(header))
+        for row, cells in self.rows.items():
+            line = row.ljust(name_w) + "  " + "  ".join(
+                cells.get(c, "-").rjust(col_w[c]) for c in self.columns
+            )
+            out.append(line)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def value(self, row: str, col: str) -> float:
+        return float(self.rows[row][col])
+
+
+def run_one(
+    fs_name: str,
+    job: FioJob,
+    mgsp_config: Optional[MgspConfig] = None,
+    device_size: Optional[int] = None,
+) -> FioResult:
+    fs = make_fs(
+        fs_name,
+        device_size=device_size or device_size_for(job.fsize),
+        mgsp_config=mgsp_config,
+    )
+    return run_fio(fs, job)
+
+
+def sweep_fio(
+    fs_names: Sequence[str],
+    jobs: Sequence[FioJob],
+    title: str,
+    column_of=lambda job: str(job.bs),
+    mgsp_config: Optional[MgspConfig] = None,
+) -> Table:
+    """Run every (fs, job) pair into one table of MB/s."""
+    table = Table(title=title)
+    for job in jobs:
+        col = column_of(job)
+        for fs_name in fs_names:
+            result = run_one(fs_name, job, mgsp_config=mgsp_config)
+            table.set(fs_name, col, result.throughput_mb_s)
+    return table

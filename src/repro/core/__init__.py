@@ -1,0 +1,27 @@
+"""MGSP: Multi-Granularity Shadow Paging (the paper's contribution).
+
+Public entry points:
+
+- :class:`~repro.core.mgsp.MgspFilesystem` — the user-space library as a
+  mounted file system (``consistency="operation"``: every write is a
+  synchronized atomic operation).
+- :class:`~repro.core.config.MgspConfig` — tuning and ablation switches.
+- :func:`~repro.core.recovery.recover` — crash recovery from a device
+  image via the lock-free metadata log.
+"""
+
+from repro.core.config import MgspConfig
+from repro.core.mgsp import MgspFilesystem
+from repro.core.recovery import RecoveryStats, recover
+from repro.core.txn import MgspTransaction
+from repro.core.verify import VerifyReport, verify_file
+
+__all__ = [
+    "MgspConfig",
+    "MgspFilesystem",
+    "MgspTransaction",
+    "RecoveryStats",
+    "VerifyReport",
+    "recover",
+    "verify_file",
+]

@@ -1,0 +1,373 @@
+"""MGSP file handle: the write/read flows of §III-D."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core import bitmap
+from repro.core.config import MgspConfig
+from repro.core.metalog import MAX_SLOTS
+from repro.core.radix import RadixTree
+from repro.core.shadowlog import ShadowLog
+from repro.errors import AllocationError, FsError
+from repro.fsapi.interface import FileHandle
+from repro.fsapi.volume import Inode
+from repro.util import align_down
+
+
+def _coalesce(writes):
+    """Merge adjacent device writes (e.g. sibling leaf logs allocated
+    back-to-back) so they cost one media op like one large store."""
+    merged = []
+    for off, payload in writes:
+        if merged and merged[-1][0] + len(merged[-1][1]) == off:
+            merged[-1][1] += payload
+        else:
+            merged.append([off, bytearray(payload)])
+    return [(off, bytes(buf)) for off, buf in merged]
+
+
+class MgspFile(FileHandle):
+    def __init__(self, fs, inode: Inode) -> None:
+        super().__init__(fs, inode.name)
+        self.inode = inode
+        #: open MgspTransaction, if any (plain writes are excluded while
+        #: one is staged: they would plan against staged bitmap words)
+        self._open_txn = None
+        self.config: MgspConfig = fs.config
+        self.tree = RadixTree(fs.device, inode, fs.config)
+        self.shadow = ShadowLog(self.tree, fs.device, fs.logs, inode, fs.config)
+        self._mst: Optional[Tuple[int, int]] = None
+        self.mst_hits = 0
+        self.mst_misses = 0
+
+    @property
+    def size(self) -> int:
+        return self.inode.size
+
+    # -- geometry helpers (pure; used for lock keys and cost modelling) ------
+
+    def _covering_node(self, offset: int, length: int) -> Tuple[int, int]:
+        """Smallest single node covering [offset, offset+length)."""
+        level, index = self.tree.height, 0
+        while level > 0:
+            child = self.tree.gran(level - 1)
+            first = offset // child
+            last = (offset + max(1, length) - 1) // child
+            if first != last:
+                break
+            level -= 1
+            index = first
+        return (level, index)
+
+    def _terminal_count(self, offset: int, length: int, cap: int) -> int:
+        """How many terminal commits a write would need (early-exits past
+        *cap*); pure geometry, mirrors the planner's decomposition."""
+
+        def rec(level: int, off: int, ln: int, budget: int) -> int:
+            if budget <= 0:
+                return 0
+            if level == 0:
+                return 1
+            gran = self.tree.gran(level)
+            if self.config.multi_granularity and off % gran == 0 and ln == gran:
+                return 1
+            child = self.tree.gran(level - 1)
+            first = off // child
+            last = (off + ln - 1) // child
+            total = 0
+            for i in range(first, last + 1):
+                lo = max(off, i * child)
+                hi = min(off + ln, (i + 1) * child)
+                total += rec(level - 1, lo, hi - lo, budget - total)
+                if total > cap:
+                    return total
+            return total
+
+        return rec(self.tree.height, offset, length, cap + 1)
+
+    def _lock_path(self, covering: Tuple[int, int]) -> List[Tuple[int, int]]:
+        """Ancestors from the root down to (excluding) the covering node."""
+        level, index = covering
+        degree = self.config.degree
+        return [
+            (lvl, index // degree ** (lvl - level))
+            for lvl in range(self.tree.height, level, -1)
+        ]
+
+    def _mst_savings(self, offset: int, length: int) -> int:
+        """Tree levels the minimum-search-tree cache skips for this op.
+
+        The functional traversal always starts at the root (keeping
+        semantics exact); the cache is modelled as a cost saving: a hit
+        skips the levels above the cached subtree, the adjacent-subtree
+        fallback saves one level less, a miss saves nothing.
+        """
+        if not self.config.min_search_tree or self._mst is None:
+            return 0
+        level, index = self._mst
+        end = offset + max(1, length) - 1
+        gran = self.tree.gran(level)
+        if offset // gran == index and end // gran == index:
+            self.mst_hits += 1
+            return self.tree.height - level
+        if offset // gran == index + 1 and end // gran == index + 1:
+            self.mst_hits += 1
+            return max(0, self.tree.height - level - 1)
+        self.mst_misses += 1
+        # Miss: two failed subtree cover checks, then a root restart.
+        return -3
+
+    def _greedy_node(self, covering: Tuple[int, int]) -> Optional[Tuple[int, int]]:
+        """Greedy locking applies only while the file has one reference."""
+        if not self.config.greedy_locking:
+            return None
+        if self.fs.handle_refs(self.inode.id) > 1:
+            return None
+        return covering
+
+    # -- write (§III-D) --------------------------------------------------------
+
+    def write(self, offset: int, data: bytes) -> int:
+        self._check_writable()
+        if self._open_txn is not None and self._open_txn.open:
+            from repro.errors import TransactionError
+
+            raise TransactionError(
+                f"{self.inode.name}: plain write while a transaction is "
+                "open (its staged state would leak into the commit)"
+            )
+        if offset < 0:
+            raise FsError("negative offset")
+        if offset + len(data) > self.inode.capacity:
+            raise FsError(
+                f"{self.inode.name}: write [{offset}, {offset + len(data)}) "
+                f"exceeds capacity {self.inode.capacity}"
+            )
+        if not data:
+            return 0
+        # An op needing more metadata slots than one entry holds is split
+        # into independently-atomic sub-writes.
+        self._ensure_height(offset + len(data))
+        if self._terminal_count(offset, len(data), MAX_SLOTS) > MAX_SLOTS:
+            mid = align_down(offset + len(data) // 2, self.config.sub_block)
+            if mid <= offset:
+                mid = offset + len(data) // 2
+            self.write(offset, data[: mid - offset])
+            self.write(mid, data[mid - offset :])
+            return len(data)
+        try:
+            self._write_atomic(offset, data)
+        except AllocationError:
+            # Log area exhausted: reclaim it by writing the logs back
+            # (the paper reclaims at close; long-running writers need it
+            # online), then retry once.
+            self.checkpoint()
+            self._write_atomic(offset, data)
+        return len(data)
+
+    def _ensure_height(self, end: int) -> None:
+        if end > self.tree.covered():
+            self.tree.grow_to(end)
+            self.fs.device.fence()
+
+    def _write_atomic(self, offset: int, data: bytes) -> None:
+        fs = self.fs
+        rec = fs.recorder
+        timing = fs.timing
+        thread = fs.current_thread
+        with fs.op("write"):
+            # 1. Claim a private metadata-log entry (hash + CAS probing).
+            entry = fs.metalog.claim(thread, rec)
+            try:
+                self._write_locked(entry, offset, data)
+            finally:
+                fs.metalog.release(entry)
+        fs.api.writes += 1
+        fs.api.bytes_written += len(data)
+
+    def _write_locked(self, entry: int, offset: int, data: bytes) -> None:
+        fs = self.fs
+        rec = fs.recorder
+        timing = fs.timing
+        thread = fs.current_thread
+        gen = self.tree.next_gen()
+
+        # 2. Plan: traverse the tree, pick log granularities, compute
+        #    RMW fills (charged as reads by the device tracer).
+        saved = self._mst_savings(offset, len(data))
+        plan = self.shadow.plan_write(offset, data, gen)
+        rec.compute(timing.tree_node_ns * max(1, plan.nodes_visited - saved))
+
+        # 3. Lock (MGL or greedy).
+        covering = self._covering_node(offset, len(data))
+        lock_keys = fs.mgl.acquire(
+            thread,
+            self.inode.id,
+            plan.path,
+            plan.terminals,
+            write=True,
+            greedy_node=self._greedy_node(covering),
+        )
+
+        # 4. Eager existing-bit refreshes + fresh log pointers + data,
+        #    all made durable by one fence.
+        for node, word in plan.refreshes:
+            self.tree.store_word(node, word)
+        for node in plan.new_logs:
+            self.tree.store_log_ptr(node, node.log_off)
+            rec.compute(timing.block_alloc_ns * 0.2)  # per-size free-list pop
+        for dev_off, payload in _coalesce(plan.data_writes):
+            fs.device.nt_store(dev_off, payload)
+        fs.device.fence()
+
+        # 5. Commit point: persist the metadata-log entry.
+        new_size = max(self.inode.size, offset + len(data))
+        fs.metalog.write(
+            entry,
+            self.inode.id,
+            len(data),
+            gen,
+            offset,
+            new_size,
+            [slot for _, __, slot in plan.commits],
+        )
+
+        # 6. Apply the valid-bit words (atomic stores) + size, fence.
+        for node, word, _slot in plan.commits:
+            self.tree.store_word(node, word)
+        if new_size > self.inode.size:
+            fs.volume.set_size_volatile(self.inode, new_size)
+            fs.device.atomic_store_u64(self.inode.size_field_offset, new_size)
+            fs.device.flush(self.inode.size_field_offset, 8)
+        fs.device.fence()
+
+        # 7. Retire the entry (unfenced; replay is idempotent).
+        fs.metalog.retire(entry)
+
+        # Ablation only: without shadow logging every commit is
+        # immediately checkpointed back (the classic double write).
+        if plan.checkpoints:
+            self._apply_checkpoints(plan)
+
+        fs.mgl.release(lock_keys)
+        if self.config.min_search_tree:
+            self._mst = covering
+
+    def _apply_checkpoints(self, plan) -> None:
+        fs = self.fs
+        gen2 = self.tree.next_gen()
+        cleared = set()
+        for node, src, dst, length in plan.checkpoints:
+            data = fs.device.load(src, length)
+            limit = self.shadow._target_limit_base(dst)
+            payload = data[: max(0, limit - dst)]
+            if payload:
+                fs.device.nt_store(dst, payload)
+            if id(node) not in cleared:
+                cleared.add(id(node))
+                if node.level == 0:
+                    word = bitmap.pack_leaf(0, gen2)
+                else:
+                    word = bitmap.pack_nonleaf(False, False, gen2, gen2)
+                self.tree.store_word(node, word)
+        fs.device.fence()
+
+    # -- read (§III-D) -------------------------------------------------------------
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check_open()
+        fs = self.fs
+        rec = fs.recorder
+        length = max(0, min(length, self.inode.size - offset))
+        with fs.op("read"):
+            if length == 0:
+                fs.api.reads += 1
+                return b""
+            covering = self._covering_node(offset, length)
+            saved = self._mst_savings(offset, length)
+            path = self._lock_path(covering)
+            lock_keys = fs.mgl.acquire(
+                fs.current_thread,
+                self.inode.id,
+                path,
+                [covering],
+                write=False,
+                greedy_node=self._greedy_node(covering),
+            )
+            data, visited = self.shadow.read_range(offset, length)
+            rec.compute(fs.timing.tree_node_ns * max(1, visited - saved))
+            fs.mgl.release(lock_keys)
+            if self.config.min_search_tree:
+                self._mst = covering
+        fs.api.reads += 1
+        fs.api.bytes_read += length
+        return data
+
+    # -- sync / close -----------------------------------------------------------------
+
+    def fsync(self) -> None:
+        """Every MGSP operation is already a synchronized atomic op, so
+        fsync degenerates to a fence (the Fig 7 flat line)."""
+        self._check_open()
+        fs = self.fs
+        with fs.op("fsync"):
+            fs.device.fence()
+        fs.api.fsyncs += 1
+
+    def mmap(self, length: int = 0):
+        """A failure-atomic memory-mapped view (the paper's interface)."""
+        from repro.core.mmio import MgspMmap
+
+        self._check_open()
+        return MgspMmap(self, length)
+
+    def mmap_view(self):
+        self._check_open()
+        return (self.fs.device, self.inode.base, self.inode.capacity)
+
+    def checkpoint(self) -> int:
+        """Online write-back: push every fresh log byte into the file and
+        reclaim the log space, keeping the handle open.
+
+        The paper reclaims log space at close; long-running applications
+        can call this to bound log-area usage (each granularity's logs
+        are bounded by the file size, §III-B1). Returns bytes copied.
+        Crash-safe: the copy happens while the bitmap still points at
+        the logs; the table reset uses atomic per-node clears after a
+        fence, and a crash mid-checkpoint just recovers the logs again.
+        """
+        self._check_open()
+        fs = self.fs
+        with fs.op("checkpoint"):
+            copied = self.shadow.write_back()
+            freed = [
+                (node.log_off, node.size)
+                for node in self.tree.nodes.values()
+                if node.log_off
+            ]
+            self.tree.clear_table()  # zeroes words, then pointers, durably
+            for log_off, size in freed:
+                fs.logs.free(log_off, size)
+            fs.volume.persist_size(self.inode)
+            self._mst = None
+        return copied
+
+    def close(self) -> None:
+        """Write all logs back to the file and release log space."""
+        if self.closed:
+            return
+        fs = self.fs
+        with fs.op("close"):
+            self.shadow.write_back()
+            freed = [
+                (node.log_off, node.size)
+                for node in self.tree.nodes.values()
+                if node.log_off
+            ]
+            self.tree.clear_table()  # zeroes words, then pointers, durably
+            for log_off, size in freed:
+                fs.logs.free(log_off, size)
+            fs.volume.persist_size(self.inode)
+        super().close()
+        fs.release_handle(self.inode.id)

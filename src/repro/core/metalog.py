@@ -1,0 +1,212 @@
+"""Lock-free metadata log (§III-C1).
+
+A small NVM region holds fixed 128-byte entries. A thread claims the
+entry at ``hash(thread id) % N``, linear-probing past busy slots with
+CAS. One entry describes one in-flight write:
+
+    +0   u32  checksum (crc32 of bytes [4, 32 + 8*nslots))
+    +4   u16  file id
+    +6   u16  nslots
+    +8   u32  length          (0 = retired; cleared with an atomic store)
+    +12  u32  generation G stamped on every committed word
+    +16  u64  file offset
+    +24  u64  new file size
+    +32  nslots x 8 B slots:
+            u32  ordinal | LEAF<<28 | VALID<<29
+            u32  new leaf mask (leaf slots only)
+
+Only valid-bit changes are logged; existing bits are recomputed from
+valid bits during recovery (the paper's "existing bits can be recovered
+from the valid bits"). When ``nslots <= 3`` the entry fits in 64 bytes
+and only that half is flushed (the paper's partial-flush optimization).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import FsError
+from repro.fsapi.layout import Region
+from repro.nvm.device import NvmDevice
+from repro.util import checksum as crc
+
+ENTRY_SIZE = 128
+HEADER = struct.Struct("<IHHII Q Q")  # checksum, file_id, nslots, length, gen, offset, file_size
+MAX_SLOTS = (ENTRY_SIZE - HEADER.size) // 8
+SLOT = struct.Struct("<II")
+
+_ORD_MASK = (1 << 28) - 1
+_LEAF_FLAG = 1 << 28
+_VALID_FLAG = 1 << 29
+
+# Transaction support (chained entries; see repro.core.txn): the nslots
+# u16 carries flags in its top bits, and for transaction entries the
+# offset field holds the transaction id.
+TXN_MEMBER = 1 << 15
+TXN_COMMIT = 1 << 14
+_NSLOTS_MASK = (1 << 14) - 1
+
+
+@dataclass(frozen=True)
+class MetaSlot:
+    """One committed node word, in recoverable form."""
+
+    ordinal: int
+    is_leaf: bool
+    valid: bool  # non-leaf commits: the new valid bit
+    leaf_mask: int = 0
+
+    def pack(self) -> bytes:
+        word = self.ordinal & _ORD_MASK
+        if self.is_leaf:
+            word |= _LEAF_FLAG
+        if self.valid:
+            word |= _VALID_FLAG
+        return SLOT.pack(word, self.leaf_mask & 0xFFFFFFFF)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "MetaSlot":
+        word, mask = SLOT.unpack(raw)
+        return cls(
+            ordinal=word & _ORD_MASK,
+            is_leaf=bool(word & _LEAF_FLAG),
+            valid=bool(word & _VALID_FLAG),
+            leaf_mask=mask,
+        )
+
+
+@dataclass
+class MetaEntry:
+    index: int
+    file_id: int
+    length: int
+    gen: int
+    offset: int
+    file_size: int
+    slots: List[MetaSlot]
+    flags: int = 0
+
+    @property
+    def is_txn_member(self) -> bool:
+        return bool(self.flags & TXN_MEMBER)
+
+    @property
+    def is_txn_commit(self) -> bool:
+        return bool(self.flags & TXN_COMMIT)
+
+    @property
+    def txn_id(self) -> int:
+        return self.offset  # transaction entries reuse the offset field
+
+
+class MetadataLog:
+    """The per-mount metadata-log region."""
+
+    def __init__(self, device: NvmDevice, region: Region, entries: int = 32) -> None:
+        if entries * ENTRY_SIZE > region.size:
+            raise FsError(f"metalog region too small for {entries} entries")
+        self.device = device
+        self.region = region
+        self.entries = entries
+        self._in_use: Dict[int, int] = {}  # entry index -> owning thread
+
+    def entry_offset(self, index: int) -> int:
+        return self.region.start + index * ENTRY_SIZE
+
+    # -- claim / release (lock-free via hash + CAS in the real system) -------
+
+    def claim(self, thread_id: int, recorder=None) -> int:
+        if recorder is not None:
+            recorder.compute(recorder.timing.hash_ns)
+        start = hash(thread_id) % self.entries
+        for probe in range(self.entries):
+            idx = (start + probe) % self.entries
+            if recorder is not None:
+                recorder.compute(recorder.timing.cas_ns)
+            if idx not in self._in_use:
+                self._in_use[idx] = thread_id
+                return idx
+        raise FsError("metadata log full: more concurrent writers than entries")
+
+    def release(self, index: int) -> None:
+        self._in_use.pop(index, None)
+
+    # -- write / retire ---------------------------------------------------------
+
+    def write(
+        self,
+        index: int,
+        file_id: int,
+        length: int,
+        gen: int,
+        offset: int,
+        file_size: int,
+        slots: List[MetaSlot],
+        flags: int = 0,
+    ) -> None:
+        """Persist one entry; this is the commit point of a write op."""
+        if len(slots) > MAX_SLOTS:
+            raise FsError(f"write needs {len(slots)} metadata slots > {MAX_SLOTS}")
+        nslots_field = len(slots) | flags
+        body = HEADER.pack(0, file_id, nslots_field, length, gen, offset, file_size)
+        for slot in slots:
+            body += slot.pack()
+        digest = crc(body[4:])
+        body = HEADER.pack(digest, file_id, nslots_field, length, gen, offset, file_size) + body[HEADER.size :]
+        # Partial-flush optimization: small entries persist only 64 bytes.
+        flush_len = 64 if len(slots) <= 3 else ENTRY_SIZE
+        body = body.ljust(flush_len, b"\0")
+        off = self.entry_offset(index)
+        if self.device.tracer is not None:
+            # Entry marshalling + checksum computation.
+            self.device.tracer.compute(100.0)
+        self.device.nt_store(off, body)
+        self.device.fence()
+
+    def retire(self, index: int) -> None:
+        """Mark the entry outdated (length=0). Deliberately unfenced: a
+        replay of an already-applied entry is idempotent."""
+        off = self.entry_offset(index)
+        self.device.atomic_store_u64(off + 8, 0)  # clears length + gen
+        self.device.flush(off + 8, 8)
+
+    # -- recovery scan ---------------------------------------------------------------
+
+    def scan(self) -> List[MetaEntry]:
+        """Return every un-retired, checksum-valid entry (recovery path)."""
+        found: List[MetaEntry] = []
+        for idx in range(self.entries):
+            entry = self._load(idx)
+            if entry is not None:
+                found.append(entry)
+        return found
+
+    def _load(self, idx: int) -> Optional[MetaEntry]:
+        off = self.entry_offset(idx)
+        raw = self.device.buffer.load(off, ENTRY_SIZE)
+        digest, file_id, nslots_field, length, gen, offset, file_size = HEADER.unpack(
+            raw[: HEADER.size]
+        )
+        nslots = nslots_field & _NSLOTS_MASK
+        flags = nslots_field & ~_NSLOTS_MASK
+        if length == 0 or nslots > MAX_SLOTS:
+            return None
+        body_end = HEADER.size + nslots * 8
+        if crc(raw[4:body_end]) != digest:
+            return None  # torn entry: the write never committed
+        slots = [
+            MetaSlot.unpack(raw[HEADER.size + i * 8 : HEADER.size + (i + 1) * 8])
+            for i in range(nslots)
+        ]
+        return MetaEntry(
+            index=idx,
+            file_id=file_id,
+            length=length,
+            gen=gen,
+            offset=offset,
+            file_size=file_size,
+            slots=slots,
+            flags=flags,
+        )

@@ -1,0 +1,125 @@
+"""MGSP as a mounted file system."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import MgspConfig
+from repro.core.file import MgspFile
+from repro.core.locks import MglLockManager
+from repro.core.metalog import MetadataLog
+from repro.core.radix import required_table_len
+from repro.errors import FileBusy, FileNotFound
+from repro.fsapi.interface import FileSystem, OpenFlags
+from repro.nvm.allocator import LogAllocator
+
+
+class MgspFilesystem(FileSystem):
+    """User-space crash-consistent MMIO library (the paper's system).
+
+    Every write is a synchronized atomic operation; ``fsync`` is a
+    fence. Files opened through this class correspond to the paper's
+    ``O_ATOMIC`` interposition path.
+    """
+
+    name = "MGSP"
+    kernel_space = False
+    consistency = "operation"
+    log_fraction = 0.40
+
+    def __init__(self, *args, config: Optional[MgspConfig] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.config = config or MgspConfig()
+        area = self.volume.layout.log_area
+        self.logs = LogAllocator(area.start, area.end)
+        self.metalog = MetadataLog(
+            self.device, self.volume.layout.metalog, self.config.metalog_entries
+        )
+        self.mgl = MglLockManager(self.config, self.recorder)
+        #: simulated thread issuing the current op (set by workload runners)
+        self.current_thread = 0
+        self._refs: Dict[int, int] = {}
+        self._txn_counter = 0
+
+    # -- handle refcounts (greedy locking gate) --------------------------------
+
+    def handle_refs(self, inode_id: int) -> int:
+        return self._refs.get(inode_id, 0)
+
+    def release_handle(self, inode_id: int) -> None:
+        self._refs[inode_id] = max(0, self._refs.get(inode_id, 1) - 1)
+        self.open_handles = max(0, self.open_handles - 1)
+
+    # -- namespace ---------------------------------------------------------------
+
+    def create(self, name: str, capacity: int) -> MgspFile:
+        inode = self.volume.create(
+            name, capacity, node_table_len=required_table_len(capacity, self.config)
+        )
+        self.open_handles += 1
+        self._refs[inode.id] = self._refs.get(inode.id, 0) + 1
+        return MgspFile(self, inode)
+
+    def open(self, name: str, flags: OpenFlags = OpenFlags.RDWR) -> MgspFile:
+        if not self.volume.exists(name):
+            if flags & OpenFlags.CREAT:
+                return self.create(name, 4096)
+            raise FileNotFound(name)
+        inode = self.volume.lookup(name)
+        if self._refs.get(inode.id, 0) > 0:
+            # The paper's sharing model: threads share one handle; a
+            # second process-level open waits for close.
+            raise FileBusy(f"{name} is already open via MGSP")
+        self.open_handles += 1
+        self._refs[inode.id] = self._refs.get(inode.id, 0) + 1
+        handle = MgspFile(self, inode)
+        handle.read_only = not bool(flags & OpenFlags.RDWR)
+        handle.tree.load_from_table()
+        return handle
+
+    # -- transactions (future-work extension, see repro.core.txn) -------------------
+
+    def begin_transaction(self, handle: MgspFile):
+        """Open a failure-atomic multi-write transaction on *handle*."""
+        from repro.core.txn import MgspTransaction
+
+        return MgspTransaction(self, handle)
+
+    def next_txn_id(self) -> int:
+        self._txn_counter += 1
+        return self._txn_counter
+
+    # -- simulated-thread lifecycle -------------------------------------------------
+
+    def end_thread(self, thread: int) -> None:
+        """Emit the trailer that releases lazily retained intention locks."""
+        self.recorder.begin_op("thread-trailer")
+        self.mgl.release_retained(thread)
+        self.recorder.end_op()
+
+    @classmethod
+    def remount(
+        cls,
+        device,
+        config: Optional[MgspConfig] = None,
+        timing=None,
+    ) -> "MgspFilesystem":
+        """Mount an existing device image (use :func:`repro.core.recover`
+        first if the image may hold in-flight operations)."""
+        from repro.fsapi.layout import VolumeLayout
+        from repro.fsapi.volume import Volume
+
+        fs = cls.__new__(cls)
+        FileSystem.__init__(fs, device=device, timing=timing)
+        fs.volume = Volume.mount(
+            device, VolumeLayout.for_device(device.size, log_fraction=cls.log_fraction)
+        )
+        fs.config = config or MgspConfig()
+        area = fs.volume.layout.log_area
+        fs.logs = LogAllocator(area.start, area.end)
+        fs.metalog = MetadataLog(device, fs.volume.layout.metalog, fs.config.metalog_entries)
+        fs.mgl = MglLockManager(fs.config, fs.recorder)
+        fs.current_thread = 0
+        fs._refs = {}
+        fs._txn_counter = 0
+        return fs

@@ -1,0 +1,568 @@
+"""Multi-granularity Shadow Logging (MSL, §III-B).
+
+The planner walks the radix tree (Algorithm 1) and decomposes one write
+into terminal actions. At a terminal node the *shadow log role switch*
+happens:
+
+- node's log **invalid** → redo-style: new data goes into the node's own
+  log; commit sets the valid bit (old data stays authoritative upstream
+  until commit).
+- node's log **valid** → undo-style: the node's log already holds the
+  (about to be old) data, so the new data is written straight into the
+  *last valid ancestor's* log (ultimately the file itself); commit
+  clears the valid bit. The bytes being overwritten upstream are
+  shadowed by this node's still-set valid bit, so a torn write is
+  invisible.
+
+Either way each commit is one atomic word store, and every byte of user
+data is written exactly once (plus sub-block RMW fill at the edges) —
+the zero-copy property of Fig 3.
+
+Planning is side-effect-light: it may materialize DRAM nodes and
+allocate log blocks, and it *reads* authoritative bytes for RMW fill,
+but all stores happen later in the exact crash-safe order
+(:meth:`repro.core.file.MgspFile.write`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core import bitmap
+from repro.core.config import MgspConfig
+from repro.core.metalog import MetaSlot
+from repro.core.radix import Node, RadixTree
+from repro.fsapi.volume import Inode
+from repro.nvm.allocator import LogAllocator
+from repro.nvm.device import NvmDevice
+
+
+@dataclass
+class MslStats:
+    """Observability: how the multi-granularity machinery is being used."""
+
+    redo_commits: int = 0  # data written to the node's own log
+    undo_commits: int = 0  # role switch: data written into an ancestor
+    coarse_commits: int = 0  # non-leaf terminal commits
+    fine_commits: int = 0  # leaf commits
+    sub_block_writes: int = 0  # sub-leaf granularity updates
+    rmw_fill_bytes: int = 0  # bytes copied for unaligned edges
+    logs_allocated: int = 0
+
+
+@dataclass
+class WritePlan:
+    gen: int
+    data_writes: List[Tuple[int, bytes]] = field(default_factory=list)
+    commits: List[Tuple[Node, int, MetaSlot]] = field(default_factory=list)
+    refreshes: List[Tuple[Node, int]] = field(default_factory=list)
+    new_logs: List[Node] = field(default_factory=list)
+    path: List[Tuple[int, int]] = field(default_factory=list)
+    terminals: List[Tuple[int, int]] = field(default_factory=list)
+    nodes_visited: int = 0
+    #: shadow-logging-off ablation: (node, src_off, dst_off, length) copies
+    #: performed after commit, then the node's word is cleared.
+    checkpoints: List[Tuple[Node, int, int, int]] = field(default_factory=list)
+
+
+def _ordinal(tree: RadixTree, node: Node) -> int:
+    return tree.level_base[node.level] + node.index
+
+
+class ShadowLog:
+    """Planner + reader + write-back for one file's tree."""
+
+    def __init__(
+        self,
+        tree: RadixTree,
+        device: NvmDevice,
+        alloc: LogAllocator,
+        inode: Inode,
+        config: MgspConfig,
+    ) -> None:
+        self.tree = tree
+        self.device = device
+        self.alloc = alloc
+        self.inode = inode
+        self.config = config
+        self.stats = MslStats()
+
+    # ------------------------------------------------------------------ write
+
+    def plan_write(self, offset: int, data: bytes, gen: int) -> WritePlan:
+        plan = WritePlan(gen=gen)
+        root = self.tree.root
+        self._descend_write(
+            plan, root, 0, self.inode.base, 0, offset, len(data), data, offset
+        )
+        return plan
+
+    def _descend_write(
+        self,
+        plan: WritePlan,
+        node: Node,
+        path_gen: int,
+        last_base: int,
+        last_start: int,
+        off: int,
+        length: int,
+        data: bytes,
+        data_base: int,
+    ) -> None:
+        plan.nodes_visited += 1
+        if node.level == 0:
+            self._plan_leaf(plan, node, path_gen, last_base, last_start, off, length, data, data_base)
+            plan.terminals.append((0, node.index))
+            return
+
+        is_root = node.level == self.tree.height and node.index == 0
+        eff = bitmap.effective_nonleaf(node.word, path_gen)
+        full_cover = off == node.start and length == node.size
+
+        if full_cover and self.config.multi_granularity:
+            self._plan_coarse_terminal(plan, node, eff, is_root, last_base, last_start, data, data_base, off)
+            plan.terminals.append((node.level, node.index))
+            return
+
+        # Not terminal: refresh the existing bit on the path (eager,
+        # unlogged; recovery recomputes existing bits from valid bits).
+        new_word = bitmap.pack_nonleaf(
+            valid=eff.valid, existing=True, sub_gen=eff.sub_gen, own_gen=plan.gen
+        )
+        if new_word != node.word:
+            plan.refreshes.append((node, new_word))
+        plan.path.append((node.level, node.index))
+
+        if eff.valid and not is_root:
+            last_base, last_start = node.log_off, node.start
+        elif is_root:
+            last_base, last_start = self.inode.base, 0
+
+        child_size = self.tree.gran(node.level - 1)
+        first, last_idx = self.tree.child_range(node, off, length)
+        for i in range(first, last_idx + 1):
+            child_off = max(off, i * child_size)
+            child_end = min(off + length, (i + 1) * child_size)
+            child = self.tree.node(node.level - 1, i)
+            self._descend_write(
+                plan, child, eff.sub_gen, last_base, last_start,
+                child_off, child_end - child_off, data, data_base,
+            )
+
+    def _plan_coarse_terminal(
+        self,
+        plan: WritePlan,
+        node: Node,
+        eff: bitmap.NonLeafBits,
+        is_root: bool,
+        last_base: int,
+        last_start: int,
+        data: bytes,
+        data_base: int,
+        off: int,
+    ) -> None:
+        payload = data[off - data_base : off - data_base + node.size]
+        ordinal = _ordinal(self.tree, node)
+        shadow = self.config.shadow_logging
+        valid_now = eff.valid or is_root
+
+        if shadow and valid_now:
+            # Undo-style: new data straight into the last valid ancestor
+            # (for the root, "ancestor" is the file itself).
+            self.stats.undo_commits += 1
+            self.stats.coarse_commits += 1
+            target = last_base + (off - last_start)
+            limit = self._target_limit(last_base)
+            plan.data_writes.append((target, payload[: max(0, limit - target)]))
+            word = bitmap.pack_nonleaf(False, False, plan.gen, plan.gen)
+            plan.commits.append((node, word, MetaSlot(ordinal, False, False)))
+            return
+
+        # Redo-style (also the shadow-off ablation path): own log.
+        self.stats.redo_commits += 1
+        self.stats.coarse_commits += 1
+        if node.log_off == 0:
+            node.log_off = self.alloc.alloc(node.size)
+            plan.new_logs.append(node)
+            self.stats.logs_allocated += 1
+        plan.data_writes.append((node.log_off, payload))
+        word = bitmap.pack_nonleaf(True, False, plan.gen, plan.gen)
+        plan.commits.append((node, word, MetaSlot(ordinal, False, True)))
+        if not shadow:
+            target = last_base + (off - last_start)
+            plan.checkpoints.append((node, node.log_off, target, node.size))
+
+    def _plan_leaf(
+        self,
+        plan: WritePlan,
+        node: Node,
+        path_gen: int,
+        last_base: int,
+        last_start: int,
+        off: int,
+        length: int,
+        data: bytes,
+        data_base: int,
+    ) -> None:
+        cfg = self.config
+        nbits = cfg.effective_leaf_bits
+        sub = cfg.leaf_size // nbits
+        eff = bitmap.effective_leaf(node.word, path_gen)
+        s0 = (off - node.start) // sub
+        s1 = -(-(off + length - node.start) // sub)
+        covered = bitmap.mask_for_range(s0, s1)
+        shadow = cfg.shadow_logging
+
+        need_leaf_log = any(
+            ((eff.mask >> i) & 1) == 0 or not shadow for i in range(s0, s1)
+        )
+        if need_leaf_log and node.log_off == 0:
+            node.log_off = self.alloc.alloc(cfg.leaf_size)
+            plan.new_logs.append(node)
+            self.stats.logs_allocated += 1
+        self.stats.fine_commits += 1
+        if s1 - s0 < nbits:
+            self.stats.sub_block_writes += 1
+
+        # Build one coalesced write per run of sub-blocks sharing a target.
+        run_target: Optional[int] = None
+        run_buf = bytearray()
+
+        def flush_run() -> None:
+            nonlocal run_buf, run_target
+            if run_target is not None and run_buf:
+                limit = self._target_limit_base(run_target)
+                payload = bytes(run_buf[: max(0, limit - run_target)])
+                if payload:
+                    plan.data_writes.append((run_target, payload))
+            run_buf = bytearray()
+            run_target = None
+
+        for i in range(s0, s1):
+            bit = (eff.mask >> i) & 1
+            bs = node.start + i * sub  # sub-block global range
+            be = bs + sub
+            lo = max(off, bs)
+            hi = min(off + length, be)
+            # Where does this sub-block's new data go?
+            if shadow and bit:
+                self.stats.undo_commits += 1
+                target = last_base + (bs - last_start)
+                auth_for_fill = node.log_off + (bs - node.start)
+            else:
+                self.stats.redo_commits += 1
+                target = node.log_off + (bs - node.start)
+                if bit:
+                    auth_for_fill = node.log_off + (bs - node.start)
+                else:
+                    auth_for_fill = last_base + (bs - last_start)
+            buf = bytearray(sub)
+            if lo > bs:  # RMW prefix fill from the authoritative source
+                buf[: lo - bs] = self._read_clipped(auth_for_fill, lo - bs)
+                self.stats.rmw_fill_bytes += lo - bs
+            if hi < be:  # RMW suffix fill
+                buf[hi - bs :] = self._read_clipped(auth_for_fill + (hi - bs), be - hi)
+                self.stats.rmw_fill_bytes += be - hi
+            buf[lo - bs : hi - bs] = data[lo - data_base : hi - data_base]
+
+            if run_target is not None and target == run_target + len(run_buf):
+                run_buf += buf
+            else:
+                flush_run()
+                run_target = target
+                run_buf = bytearray(buf)
+        flush_run()
+
+        if shadow:
+            new_mask = eff.mask ^ covered
+        else:
+            new_mask = eff.mask | covered
+        word = bitmap.pack_leaf(new_mask, plan.gen)
+        ordinal = _ordinal(self.tree, node)
+        plan.commits.append((node, word, MetaSlot(ordinal, True, False, new_mask)))
+        if not shadow:
+            # Ablation: synchronously push every fresh sub-block back.
+            for rs, re_ in bitmap.iter_mask_runs(new_mask, nbits):
+                src = node.log_off + rs * sub
+                dst = last_base + (node.start + rs * sub - last_start)
+                plan.checkpoints.append((node, src, dst, (re_ - rs) * sub))
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _target_limit(self, base: int) -> int:
+        """Writes into the file extent must not cross its capacity."""
+        if base == self.inode.base:
+            return self.inode.base + self.inode.capacity
+        return 1 << 62
+
+    def _target_limit_base(self, target: int) -> int:
+        if self.inode.base <= target < self.inode.base + self.inode.capacity:
+            return self.inode.base + self.inode.capacity
+        return 1 << 62
+
+    def _read_clipped(self, dev_off: int, length: int) -> bytes:
+        """Device read clipped at the file extent end (tail sub-blocks)."""
+        if self.inode.base <= dev_off < self.inode.base + self.inode.capacity:
+            length = min(length, self.inode.base + self.inode.capacity - dev_off)
+        data = self.device.load(dev_off, length) if length > 0 else b""
+        return data.ljust(length, b"\0")
+
+    # ----------------------------------------------------------- transactions
+
+    def plan_txn_write(
+        self,
+        offset: int,
+        data: bytes,
+        gen: int,
+        durable_word,
+    ) -> WritePlan:
+        """Plan one write inside a multi-write transaction.
+
+        Transactions stage bitmap words in DRAM and commit them together
+        (see :mod:`repro.core.txn`), so a torn transaction must leave
+        every *durably authoritative* byte untouched. The safe target
+        for each sub-block is therefore fixed by the DURABLE valid bit
+        (1 → the ancestor slot it shadows, 0 → the leaf's own log),
+        independent of how many times the transaction rewrites it, while
+        fill content and the final mask follow the STAGED state.
+        ``durable_word(node)`` returns the word as it stands on media.
+
+        Transactional writes always decompose to leaf terminals (no
+        coarse-grained logs), which keeps durable path generations equal
+        to staged ones.
+        """
+        plan = WritePlan(gen=gen)
+        root = self.tree.root
+        self._descend_txn(
+            plan, root, 0, self.inode.base, 0, offset, len(data), data, offset, durable_word
+        )
+        return plan
+
+    def _descend_txn(
+        self, plan, node, path_gen, last_base, last_start, off, length, data, data_base, durable_word
+    ) -> None:
+        plan.nodes_visited += 1
+        if node.level == 0:
+            self._plan_txn_leaf(
+                plan, node, path_gen, last_base, last_start, off, length, data, data_base, durable_word
+            )
+            plan.terminals.append((0, node.index))
+            return
+        is_root = node.level == self.tree.height and node.index == 0
+        eff = bitmap.effective_nonleaf(node.word, path_gen)
+        new_word = bitmap.pack_nonleaf(
+            valid=eff.valid, existing=True, sub_gen=eff.sub_gen, own_gen=plan.gen
+        )
+        if new_word != node.word:
+            plan.refreshes.append((node, new_word))
+        plan.path.append((node.level, node.index))
+        if eff.valid and not is_root:
+            last_base, last_start = node.log_off, node.start
+        elif is_root:
+            last_base, last_start = self.inode.base, 0
+        child_size = self.tree.gran(node.level - 1)
+        first, last_idx = self.tree.child_range(node, off, length)
+        for i in range(first, last_idx + 1):
+            child_off = max(off, i * child_size)
+            child_end = min(off + length, (i + 1) * child_size)
+            child = self.tree.node(node.level - 1, i)
+            self._descend_txn(
+                plan, child, eff.sub_gen, last_base, last_start,
+                child_off, child_end - child_off, data, data_base, durable_word,
+            )
+
+    def _plan_txn_leaf(
+        self, plan, node, path_gen, last_base, last_start, off, length, data, data_base, durable_word
+    ) -> None:
+        cfg = self.config
+        nbits = cfg.effective_leaf_bits
+        sub = cfg.leaf_size // nbits
+        staged = bitmap.effective_leaf(node.word, path_gen)
+        durable = bitmap.effective_leaf(durable_word(node), path_gen)
+        s0 = (off - node.start) // sub
+        s1 = -(-(off + length - node.start) // sub)
+
+        need_leaf_log = any(((durable.mask >> i) & 1) == 0 for i in range(s0, s1))
+        if need_leaf_log and node.log_off == 0:
+            node.log_off = self.alloc.alloc(cfg.leaf_size)
+            plan.new_logs.append(node)
+
+        new_mask = staged.mask
+        for i in range(s0, s1):
+            d_bit = (durable.mask >> i) & 1
+            s_bit = (staged.mask >> i) & 1
+            bs = node.start + i * sub
+            be = bs + sub
+            lo, hi = max(off, bs), min(off + length, be)
+            # Target fixed by the DURABLE bit: always a shadowed slot.
+            if d_bit:
+                target = last_base + (bs - last_start)
+            else:
+                target = node.log_off + (bs - node.start)
+            if s_bit != d_bit:
+                fill_src = target  # already written in this txn
+            elif d_bit:
+                fill_src = node.log_off + (bs - node.start)
+            else:
+                fill_src = last_base + (bs - last_start)
+            buf = bytearray(sub)
+            if lo > bs:
+                buf[: lo - bs] = self._read_clipped(fill_src, lo - bs)
+            if hi < be:
+                buf[hi - bs :] = self._read_clipped(fill_src + (hi - bs), be - hi)
+            buf[lo - bs : hi - bs] = data[lo - data_base : hi - data_base]
+            limit = self._target_limit_base(target)
+            payload = bytes(buf[: max(0, limit - target)])
+            if payload:
+                plan.data_writes.append((target, payload))
+            # Final staged bit: the opposite side of the durable one.
+            if d_bit:
+                new_mask &= ~(1 << i)
+            else:
+                new_mask |= 1 << i
+
+        word = bitmap.pack_leaf(new_mask, plan.gen)
+        ordinal = _ordinal(self.tree, node)
+        plan.commits.append((node, word, MetaSlot(ordinal, True, False, new_mask)))
+
+    # ------------------------------------------------------------------- read
+
+    def read_range(self, offset: int, length: int) -> Tuple[bytes, int]:
+        """Assemble the latest bytes; returns (data, nodes_visited)."""
+        out = bytearray(length)
+        visited = self._read_rec(
+            self.tree.root, 0, self.inode.base, 0, offset, length, out, offset
+        )
+        return bytes(out), visited
+
+    def _read_rec(
+        self,
+        node: Optional[Node],
+        path_gen: int,
+        last_base: int,
+        last_start: int,
+        off: int,
+        length: int,
+        out: bytearray,
+        out_base: int,
+    ) -> int:
+        if length <= 0:
+            return 0
+        if node is None:
+            self._copy_from(last_base + (off - last_start), off, length, out, out_base)
+            return 0
+
+        if node.level == 0:
+            return 1 + self._read_leaf(node, path_gen, last_base, last_start, off, length, out, out_base)
+
+        is_root = node.level == self.tree.height and node.index == 0
+        eff = bitmap.effective_nonleaf(node.word, path_gen)
+        if eff.valid and not is_root:
+            last_base, last_start = node.log_off, node.start
+        elif is_root:
+            last_base, last_start = self.inode.base, 0
+
+        if not eff.existing:
+            self._copy_from(last_base + (off - last_start), off, length, out, out_base)
+            return 1
+
+        visited = 1
+        child_size = self.tree.gran(node.level - 1)
+        first, last_idx = self.tree.child_range(node, off, length)
+        for i in range(first, last_idx + 1):
+            child_off = max(off, i * child_size)
+            child_end = min(off + length, (i + 1) * child_size)
+            child = self.tree.peek(node.level - 1, i)
+            visited += self._read_rec(
+                child, eff.sub_gen, last_base, last_start,
+                child_off, child_end - child_off, out, out_base,
+            )
+        return visited
+
+    def _read_leaf(
+        self,
+        node: Node,
+        path_gen: int,
+        last_base: int,
+        last_start: int,
+        off: int,
+        length: int,
+        out: bytearray,
+        out_base: int,
+    ) -> int:
+        cfg = self.config
+        nbits = cfg.effective_leaf_bits
+        sub = cfg.leaf_size // nbits
+        eff = bitmap.effective_leaf(node.word, path_gen)
+        pos = off
+        end = off + length
+        while pos < end:
+            i = (pos - node.start) // sub
+            bit = (eff.mask >> i) & 1
+            # Coalesce the run of sub-blocks served by the same source.
+            j = i
+            while node.start + (j + 1) * sub < end and ((eff.mask >> (j + 1)) & 1) == bit:
+                j += 1
+            run_end = min(end, node.start + (j + 1) * sub)
+            take = run_end - pos
+            if bit:
+                src = node.log_off + (pos - node.start)
+            else:
+                src = last_base + (pos - last_start)
+            self._copy_from(src, pos, take, out, out_base)
+            pos = run_end
+        return 0
+
+    def _copy_from(self, dev_off: int, file_off: int, length: int, out: bytearray, out_base: int) -> None:
+        data = self._read_clipped(dev_off, length)
+        out[file_off - out_base : file_off - out_base + length] = data
+
+    # -------------------------------------------------------------- write-back
+
+    def write_back(self) -> int:
+        """Copy every fresh log byte into the file (close / recovery).
+
+        Parent-before-child order: deeper (fresher) content overwrites.
+        Returns the number of bytes copied.
+        """
+        limit = min(self.tree.covered(), self.inode.size)
+        copied = self._wb_rec(self.tree.root, 0, 0, limit)
+        self.device.fence()
+        return copied
+
+    def _wb_rec(self, node: Optional[Node], path_gen: int, off: int, end: int) -> int:
+        if node is None or off >= end:
+            return 0
+        copied = 0
+        if node.level == 0:
+            cfg = self.config
+            nbits = cfg.effective_leaf_bits
+            sub = cfg.leaf_size // nbits
+            eff = bitmap.effective_leaf(node.word, path_gen)
+            for rs, re_ in bitmap.iter_mask_runs(eff.mask, nbits):
+                lo = max(off, node.start + rs * sub)
+                hi = min(end, node.start + re_ * sub)
+                if lo < hi:
+                    data = self.device.load(node.log_off + (lo - node.start), hi - lo)
+                    self.device.nt_store(self.inode.base + lo, data)
+                    copied += hi - lo
+            return copied
+
+        is_root = node.level == self.tree.height and node.index == 0
+        eff = bitmap.effective_nonleaf(node.word, path_gen)
+        if eff.valid and not is_root:
+            lo, hi = max(off, node.start), min(end, node.start + node.size)
+            if lo < hi:
+                data = self.device.load(node.log_off + (lo - node.start), hi - lo)
+                self.device.nt_store(self.inode.base + lo, data)
+                copied += hi - lo
+        if eff.existing or is_root:
+            child_size = self.tree.gran(node.level - 1)
+            lo, hi = max(off, node.start), min(end, node.start + node.size)
+            if lo < hi:
+                first, last_idx = self.tree.child_range(node, lo, hi - lo)
+                for i in range(first, last_idx + 1):
+                    child = self.tree.peek(node.level - 1, i)
+                    copied += self._wb_rec(child, eff.sub_gen, lo, hi)
+        return copied

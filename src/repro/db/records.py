@@ -1,0 +1,100 @@
+"""Row and key codecs.
+
+Rows are tuples of ``int | float | str | bytes | None`` encoded with a
+one-byte type tag per field. Keys use an order-preserving encoding so
+raw-byte comparison in the B+tree matches tuple comparison: big-endian
+offset-binary for ints, length-framed text.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Tuple, Union
+
+Value = Union[int, float, str, bytes, None]
+
+_T_NONE = 0
+_T_INT = 1
+_T_FLOAT = 2
+_T_STR = 3
+_T_BYTES = 4
+
+_I64 = struct.Struct(">q")
+_U64 = struct.Struct(">Q")
+_F64 = struct.Struct(">d")
+_LEN = struct.Struct("<I")
+
+
+def encode_row(values: Iterable[Value]) -> bytes:
+    out = bytearray()
+    values = list(values)
+    out.append(len(values))
+    for v in values:
+        if v is None:
+            out.append(_T_NONE)
+        elif isinstance(v, bool):
+            out.append(_T_INT)
+            out += _I64.pack(int(v))
+        elif isinstance(v, int):
+            out.append(_T_INT)
+            out += _I64.pack(v)
+        elif isinstance(v, float):
+            out.append(_T_FLOAT)
+            out += _F64.pack(v)
+        elif isinstance(v, str):
+            raw = v.encode("utf-8")
+            out.append(_T_STR)
+            out += _LEN.pack(len(raw)) + raw
+        elif isinstance(v, bytes):
+            out.append(_T_BYTES)
+            out += _LEN.pack(len(v)) + v
+        else:
+            raise TypeError(f"unsupported field type {type(v).__name__}")
+    return bytes(out)
+
+
+def decode_row(raw: bytes) -> Tuple[Value, ...]:
+    n = raw[0]
+    pos = 1
+    out: List[Value] = []
+    for _ in range(n):
+        tag = raw[pos]
+        pos += 1
+        if tag == _T_NONE:
+            out.append(None)
+        elif tag == _T_INT:
+            out.append(_I64.unpack_from(raw, pos)[0])
+            pos += 8
+        elif tag == _T_FLOAT:
+            out.append(_F64.unpack_from(raw, pos)[0])
+            pos += 8
+        elif tag in (_T_STR, _T_BYTES):
+            (ln,) = _LEN.unpack_from(raw, pos)
+            pos += 4
+            blob = raw[pos : pos + ln]
+            pos += ln
+            out.append(blob.decode("utf-8") if tag == _T_STR else bytes(blob))
+        else:
+            raise ValueError(f"bad field tag {tag}")
+    return tuple(out)
+
+
+def encode_key(parts: Iterable[Value]) -> bytes:
+    """Order-preserving composite key encoding."""
+    out = bytearray()
+    for p in parts:
+        if isinstance(p, bool):
+            p = int(p)
+        if isinstance(p, int):
+            out.append(_T_INT)
+            out += _U64.pack(p + (1 << 63))  # offset binary keeps order
+        elif isinstance(p, str):
+            raw = p.encode("utf-8")
+            out.append(_T_STR)
+            out += raw + b"\x00"  # terminator orders prefixes first
+        elif isinstance(p, bytes):
+            out.append(_T_BYTES)
+            out += p + b"\x00"
+        else:
+            raise TypeError(f"unsupported key part {type(p).__name__}")
+    return bytes(out)

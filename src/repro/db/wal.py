@@ -1,0 +1,133 @@
+"""Write-ahead log (SQLite-style WAL mode).
+
+Commit appends one frame per dirty page followed by a commit record,
+then fsyncs the WAL file — the only durable write on the commit path.
+A checkpoint pushes committed pages into the DB file and resets the log
+with a new salt so stale frames are ignored (SQLite's wal salt scheme).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from repro.db.pager import PAGE_SIZE
+from repro.errors import DbError
+from repro.fsapi.interface import FileHandle
+from repro.util import checksum as crc
+
+_HEADER = struct.Struct("<IIQ")  # magic, salt, reserved
+_FRAME = struct.Struct("<IIII")  # magic, salt, page_no, checksum
+_COMMIT = struct.Struct("<IIII")  # magic, salt, nframes, checksum
+
+HEADER_MAGIC = 0x57414C30  # "WAL0"
+FRAME_MAGIC = 0x46524D31
+COMMIT_MAGIC = 0x434D5431
+
+
+class WriteAheadLog:
+    def __init__(self, handle: FileHandle, fresh: bool = True) -> None:
+        self.handle = handle
+        self.salt = 1
+        self.tail = _HEADER.size
+        # page_no -> (file offset of the frame's image, image bytes)
+        self.frames_since_checkpoint: Dict[int, tuple] = {}
+        if fresh:
+            self._write_header()
+
+    def _write_header(self) -> None:
+        self.handle.write(0, _HEADER.pack(HEADER_MAGIC, self.salt, 0))
+
+    @property
+    def size(self) -> int:
+        return self.tail
+
+    # -- commit path -----------------------------------------------------------
+
+    def commit(self, pages: Dict[int, bytes]) -> None:
+        """Append frames + a commit record, then fsync (the durable point)."""
+        if not pages:
+            return
+        blob = bytearray()
+        for page_no, image in pages.items():
+            if len(image) > PAGE_SIZE:
+                raise DbError(f"page {page_no}: image of {len(image)} bytes > {PAGE_SIZE}")
+            image = image.ljust(PAGE_SIZE, b"\0")
+            blob += _FRAME.pack(FRAME_MAGIC, self.salt, page_no, crc(image))
+            image_off = self.tail + len(blob)
+            blob += image
+            self.frames_since_checkpoint[page_no] = (image_off, image)
+        blob += _COMMIT.pack(COMMIT_MAGIC, self.salt, len(pages), crc(blob[-8:]))
+        self.handle.write(self.tail, bytes(blob))
+        self.tail += len(blob)
+        self.handle.fsync()
+
+    def should_checkpoint(self, limit: int) -> bool:
+        return self.tail >= limit
+
+    def lookup(self, page_no: int):
+        """Latest committed image of *page_no* still in the log, read
+        back through the WAL file (an FS read, like SQLite's wal-index
+        lookup)."""
+        found = self.frames_since_checkpoint.get(page_no)
+        if found is None:
+            return None
+        offset, _image = found
+        return self.handle.read(offset, PAGE_SIZE)
+
+    def checkpoint(self, db_handle: FileHandle) -> int:
+        """Push committed frames into the DB file; reset the log."""
+        pages = self.frames_since_checkpoint
+        for page_no, (_off, image) in sorted(pages.items()):
+            db_handle.write(page_no * PAGE_SIZE, image)
+        db_handle.fsync()
+        count = len(pages)
+        self.frames_since_checkpoint = {}
+        self.salt += 1
+        self.tail = _HEADER.size
+        self._write_header()
+        self.handle.fsync()
+        return count
+
+    # -- recovery -----------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, handle: FileHandle, db_handle: FileHandle) -> "WriteAheadLog":
+        """Replay committed transactions from an existing WAL file into
+        the DB file, then reset the log."""
+        wal = cls(handle, fresh=False)
+        raw = handle.read(0, handle.size)
+        if len(raw) < _HEADER.size:
+            wal._write_header()
+            handle.fsync()
+            return wal
+        magic, salt, _ = _HEADER.unpack_from(raw, 0)
+        if magic != HEADER_MAGIC:
+            wal._write_header()
+            handle.fsync()
+            return wal
+        pos = _HEADER.size
+        committed: Dict[int, bytes] = {}
+        pending: Dict[int, bytes] = {}
+        while pos + _FRAME.size <= len(raw):
+            m, s, a, b = _FRAME.unpack_from(raw, pos)
+            if m == FRAME_MAGIC and s == salt:
+                image = raw[pos + _FRAME.size : pos + _FRAME.size + PAGE_SIZE]
+                if len(image) < PAGE_SIZE or crc(image) != b:
+                    break  # torn frame: stop
+                pending[a] = image
+                pos += _FRAME.size + PAGE_SIZE
+            elif m == COMMIT_MAGIC and s == salt:
+                committed.update(pending)
+                pending = {}
+                pos += _COMMIT.size
+            else:
+                break  # stale salt or garbage: end of log
+        for page_no, image in sorted(committed.items()):
+            db_handle.write(page_no * PAGE_SIZE, image)
+        db_handle.fsync()
+        wal.salt = salt + 1
+        wal.tail = _HEADER.size
+        wal._write_header()
+        handle.fsync()
+        return wal

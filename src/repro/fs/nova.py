@@ -1,0 +1,197 @@
+"""NOVA: log-structured, per-operation CoW atomicity (kernel space).
+
+Model of the properties the paper measures:
+
+- every write allocates fresh 4 KB pages, copies in any unmodified bytes
+  of partially-covered pages (CoW write amplification for sub-page
+  writes), persists them, appends a log entry, then commits by atomically
+  swinging the per-page pointers in a persistent page table;
+- data atomicity holds for every operation (``consistency="operation"``);
+- ``fsync`` is nearly free (data is already durable at op return);
+- writes serialize on the per-inode log (exclusive inode lock, Fig 10);
+- remapping pages under an mmap costs a TLB shootdown, part of why CoW
+  MMIO loses to MGSP (§II-B).
+
+The persistent page table (one u64 per 4 KB page, in the node-table
+region) lets a crash image be remounted: pointer slots are updated only
+after their pages are durable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import FileNotFound, FsError
+from repro.fsapi.interface import FileHandle, FileSystem, OpenFlags
+from repro.fsapi.volume import Inode
+from repro.nvm.allocator import LogAllocator
+
+PAGE = 4096
+LOG_ENTRY = 64
+
+
+class NovaFile(FileHandle):
+    def __init__(self, fs: "Nova", inode: Inode) -> None:
+        super().__init__(fs, inode.name)
+        self.inode = inode
+        #: whether an mmap is active (NOVA's atomic-mmap pays TLB churn);
+        #: plain file I/O benchmarks leave this off.
+        self.mapped = False
+        self.npages = inode.capacity // PAGE
+        if inode.node_table_len < self.npages * 8:
+            raise FsError(f"{inode.name}: page table too small")
+        # DRAM mirror of the persistent page table (0 = hole).
+        self.page_table: List[int] = [
+            fs.device.buffer.load_u64(inode.node_table_off + i * 8)
+            for i in range(self.npages)
+        ]
+
+    @property
+    def size(self) -> int:
+        return self.inode.size
+
+    def _ptr_slot(self, page_idx: int) -> int:
+        return self.inode.node_table_off + page_idx * 8
+
+    def write(self, offset: int, data: bytes) -> int:
+        self._check_writable()
+        fs: Nova = self.fs  # type: ignore[assignment]
+        timing = fs.timing
+        end = offset + len(data)
+        if end > self.inode.capacity:
+            raise FsError(f"{self.inode.name}: write past capacity")
+        with fs.op("write"):
+            fs.recorder.lock(("inode", self.inode.id), "W")
+            new_pages = []  # (page_idx, new_off, old_off)
+            pos = offset
+            while pos < end:
+                idx = pos // PAGE
+                in_page = pos - idx * PAGE
+                take = min(PAGE - in_page, end - pos)
+                old = self.page_table[idx]
+                new = fs.pages.alloc(PAGE)
+                fs.recorder.compute(timing.block_alloc_ns * 0.35)  # per-inode free list
+                page = bytearray(PAGE)
+                if take < PAGE and old:
+                    # CoW copy-in of only the unmodified bytes.
+                    if in_page:
+                        page[:in_page] = fs.device.load(old, in_page)
+                    tail = in_page + take
+                    if tail < PAGE:
+                        page[tail:] = fs.device.load(old + tail, PAGE - tail)
+                page[in_page : in_page + take] = data[pos - offset : pos - offset + take]
+                fs.device.nt_store(new, bytes(page))
+                new_pages.append((idx, new, old))
+                pos += take
+            # Append the inode log entry and order it before the commit.
+            fs.device.nt_store(fs.log_tail, b"\0" * LOG_ENTRY)
+            fs.log_tail += LOG_ENTRY
+            if fs.log_tail + LOG_ENTRY > fs.volume.layout.journal.end:
+                fs.log_tail = fs.volume.layout.journal.start
+            fs.device.fence()
+            # Commit: atomic pointer swings, then release old pages.
+            for idx, new, old in new_pages:
+                self.page_table[idx] = new
+                fs.device.atomic_store_u64(self._ptr_slot(idx), new)
+                fs.device.flush(self._ptr_slot(idx), 8)
+            if end > self.inode.size:
+                fs.volume.set_size_volatile(self.inode, end)
+                fs.volume.persist_size(self.inode)
+            fs.device.fence()
+            for _, __, old in new_pages:
+                if old:
+                    fs.pages.free(old, PAGE)
+            if self.mapped:
+                # CoW under an active mapping: remap + TLB shootdown,
+                # the §II-B cost of CoW-style atomic mmap.
+                fs.recorder.compute(timing.tlb_shootdown_ns * len(new_pages) * 0.25)
+            fs.recorder.unlock(("inode", self.inode.id))
+        fs.api.writes += 1
+        fs.api.bytes_written += len(data)
+        return len(data)
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check_open()
+        fs: Nova = self.fs  # type: ignore[assignment]
+        length = max(0, min(length, self.inode.size - offset))
+        out = bytearray(length)
+        with fs.op("read"):
+            pos = offset
+            end = offset + length
+            while pos < end:
+                idx = pos // PAGE
+                in_page = pos - idx * PAGE
+                take = min(PAGE - in_page, end - pos)
+                page_off = self.page_table[idx]
+                if page_off:
+                    out[pos - offset : pos - offset + take] = fs.device.load(
+                        page_off + in_page, take
+                    )
+                pos += take
+        fs.api.reads += 1
+        fs.api.bytes_read += length
+        return bytes(out)
+
+    def fsync(self) -> None:
+        """Data is durable per-op; fsync only fences stragglers."""
+        self._check_open()
+        fs: Nova = self.fs  # type: ignore[assignment]
+        with fs.op("fsync"):
+            fs.device.fence()
+        fs.api.fsyncs += 1
+
+    def close(self) -> None:
+        if not self.closed:
+            super().close()
+            self.fs.open_handles -= 1
+
+
+class Nova(FileSystem):
+    name = "NOVA"
+    kernel_space = True
+    consistency = "operation"
+    log_fraction = 0.05  # pages come from the data area instead
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        area = self.volume.layout.data_area
+        self.pages = LogAllocator(area.start, area.end)
+        self.log_tail = self.volume.layout.journal.start
+
+    def create(self, name: str, capacity: int) -> NovaFile:
+        npages = -(-capacity // PAGE)
+        inode = self.volume.create(
+            name, capacity, node_table_len=npages * 8, reserve_extent=False
+        )
+        self.open_handles += 1
+        return NovaFile(self, inode)
+
+    def open(self, name: str, flags: OpenFlags = OpenFlags.RDWR) -> NovaFile:
+        if not self.volume.exists(name):
+            if flags & OpenFlags.CREAT:
+                return self.create(name, 4096)
+            raise FileNotFound(name)
+        self.open_handles += 1
+        handle = NovaFile(self, self.volume.lookup(name))
+        handle.read_only = not bool(flags & OpenFlags.RDWR)
+        return handle
+
+    @classmethod
+    def remount(cls, device, timing=None) -> "Nova":
+        """Mount an existing (e.g. post-crash) device image."""
+        from repro.fsapi.volume import Volume
+        from repro.fsapi.layout import VolumeLayout
+
+        fs = cls.__new__(cls)
+        FileSystem.__init__(fs, device=device, timing=timing)
+        fs.volume = Volume.mount(device, VolumeLayout.for_device(device.size, log_fraction=cls.log_fraction))
+        area = fs.volume.layout.data_area
+        fs.pages = LogAllocator(area.start, area.end)
+        # Walk page tables so reused pages are not handed out again.
+        for inode in fs.volume.files():
+            for i in range(inode.capacity // PAGE):
+                ptr = device.buffer.load_u64(inode.node_table_off + i * 8)
+                if ptr:
+                    fs.pages._cursor = max(fs.pages._cursor, ptr + PAGE)
+        fs.log_tail = fs.volume.layout.journal.start
+        return fs

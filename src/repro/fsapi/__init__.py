@@ -1,0 +1,20 @@
+"""Common file-system substrate.
+
+Every file system in this reproduction (Ext4, Ext4-DAX, NOVA, Libnvmmio,
+MGSP) implements :class:`~repro.fsapi.interface.FileSystem` over a
+:class:`~repro.fsapi.volume.Volume`: a persistent namespace + contiguous
+extent allocator on one simulated NVM device.
+"""
+
+from repro.fsapi.interface import FileHandle, FileSystem, OpenFlags
+from repro.fsapi.layout import VolumeLayout
+from repro.fsapi.volume import Inode, Volume
+
+__all__ = [
+    "FileHandle",
+    "FileSystem",
+    "Inode",
+    "OpenFlags",
+    "Volume",
+    "VolumeLayout",
+]

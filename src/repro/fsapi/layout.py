@@ -1,0 +1,71 @@
+"""Device partitioning.
+
+One simulated DIMM is split into fixed regions:
+
+====================  =======================================
+superblock            file table (namespace, inodes)
+metadata log          MGSP's lock-free metadata log entries
+node tables           MGSP's persistent per-file radix records
+journal               kernel-FS journal (JBD2 / NOVA log heads)
+log area              shadow / undo / redo / CoW data blocks
+data area             file extents
+====================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import align_up
+
+SUPERBLOCK_SIZE = 64 * 1024
+METALOG_SIZE = 8 * 1024
+
+
+@dataclass(frozen=True)
+class Region:
+    start: int
+    end: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def contains(self, offset: int, length: int = 1) -> bool:
+        return self.start <= offset and offset + length <= self.end
+
+
+@dataclass(frozen=True)
+class VolumeLayout:
+    superblock: Region
+    metalog: Region
+    node_tables: Region
+    journal: Region
+    log_area: Region
+    data_area: Region
+
+    @classmethod
+    def for_device(
+        cls,
+        device_size: int,
+        log_fraction: float = 0.30,
+        node_table_fraction: float = 0.05,
+        journal_fraction: float = 0.05,
+    ) -> "VolumeLayout":
+        if device_size < 4 * 1024 * 1024:
+            raise ValueError(f"device too small to partition: {device_size}")
+        cursor = 0
+        superblock = Region(cursor, cursor + SUPERBLOCK_SIZE)
+        cursor = superblock.end
+        metalog = Region(cursor, cursor + METALOG_SIZE)
+        cursor = align_up(metalog.end, 4096)
+        node_tables = Region(cursor, cursor + align_up(int(device_size * node_table_fraction), 4096))
+        cursor = node_tables.end
+        journal = Region(cursor, cursor + align_up(int(device_size * journal_fraction), 4096))
+        cursor = journal.end
+        log_area = Region(cursor, cursor + align_up(int(device_size * log_fraction), 4096))
+        cursor = log_area.end
+        data_area = Region(cursor, device_size)
+        if data_area.size <= 0:
+            raise ValueError("layout fractions leave no data area")
+        return cls(superblock, metalog, node_tables, journal, log_area, data_area)

@@ -1,0 +1,155 @@
+"""Human-readable introspection of simulated state (debugging aids).
+
+All functions return strings; nothing here mutates state. Typical use
+in a REPL or a failing test::
+
+    from repro.inspect import dump_tree, dump_metalog, describe_volume
+    print(describe_volume(fs.volume))
+    print(dump_tree(handle))
+    print(dump_metalog(fs.metalog))
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import bitmap
+from repro.util import fmt_size
+
+
+def describe_device(device) -> str:
+    stats = device.stats
+    lines = [
+        f"device {device.name}: {fmt_size(device.size)}",
+        f"  stores        : {stats.stores:,} ({stats.stored_bytes:,} bytes)",
+        f"  loads         : {stats.loads:,} ({stats.loaded_bytes:,} bytes)",
+        f"  flushed lines : {stats.flushed_lines:,}",
+        f"  fences        : {stats.fences:,}",
+        f"  dirty ranges  : {len(device.buffer.dirty)}",
+        f"  pending ranges: {len(device.buffer.pending)}",
+    ]
+    return "\n".join(lines)
+
+
+def describe_volume(volume) -> str:
+    layout = volume.layout
+    lines = ["volume layout:"]
+    for name in ("superblock", "metalog", "node_tables", "journal", "log_area", "data_area"):
+        region = getattr(layout, name)
+        lines.append(
+            f"  {name:<12} [{region.start:#012x}, {region.end:#012x})  {fmt_size(region.size)}"
+        )
+    lines.append("files:")
+    for inode in volume.files():
+        lines.append(
+            f"  id={inode.id:<3} {inode.name:<16} base={inode.base:#x} "
+            f"size={inode.size:,}/{inode.capacity:,}"
+            + (f" ntable={inode.node_table_off:#x}" if inode.node_table_len else "")
+        )
+    if not volume.files():
+        lines.append("  (none)")
+    return "\n".join(lines)
+
+
+def dump_tree(handle, max_nodes: int = 200) -> str:
+    """Render an MGSP file's materialized radix nodes, top-down."""
+    tree = handle.tree
+    stats = handle.shadow.stats
+    lines = [
+        f"{handle.inode.name}: height={tree.height} "
+        f"covered={fmt_size(tree.covered())} gen={tree.gen} "
+        f"nodes={len(tree.nodes)}",
+        f"  commits: redo={stats.redo_commits} undo={stats.undo_commits} "
+        f"coarse={stats.coarse_commits} fine={stats.fine_commits} "
+        f"sub-block={stats.sub_block_writes} rmw={stats.rmw_fill_bytes:,}B "
+        f"logs={stats.logs_allocated}",
+    ]
+    shown = 0
+    for (level, index) in sorted(tree.nodes, key=lambda k: (-k[0], k[1])):
+        node = tree.nodes[(level, index)]
+        if not node.word and not node.log_off:
+            continue
+        if shown >= max_nodes:
+            lines.append(f"  ... ({len(tree.nodes) - shown} more)")
+            break
+        shown += 1
+        indent = "  " * (tree.height - level + 1)
+        if level == 0:
+            bits = bitmap.unpack_leaf(node.word)
+            desc = f"mask={bits.mask:#010x} gen={bits.own_gen}"
+        else:
+            bits = bitmap.unpack_nonleaf(node.word)
+            desc = (
+                f"v={int(bits.valid)} e={int(bits.existing)} "
+                f"sub={bits.sub_gen} own={bits.own_gen}"
+            )
+        log = f" log={node.log_off:#x}" if node.log_off else ""
+        lines.append(
+            f"{indent}L{level}#{index} [{fmt_size(node.start)}+{fmt_size(node.size)}] {desc}{log}"
+        )
+    return "\n".join(lines)
+
+
+def dump_metalog(metalog) -> str:
+    entries = metalog.scan()
+    if not entries:
+        return "metadata log: empty (all entries retired)"
+    lines: List[str] = [f"metadata log: {len(entries)} live entries"]
+    for entry in entries:
+        kind = "txn-commit" if entry.is_txn_commit else ("txn-member" if entry.is_txn_member else "write")
+        lines.append(
+            f"  [{entry.index:2d}] {kind:<10} file={entry.file_id} "
+            f"len={entry.length} gen={entry.gen} slots={len(entry.slots)}"
+        )
+        for slot in entry.slots:
+            detail = f"mask={slot.leaf_mask:#x}" if slot.is_leaf else f"valid={int(slot.valid)}"
+            lines.append(f"        ord={slot.ordinal} {'leaf' if slot.is_leaf else 'node'} {detail}")
+    return "\n".join(lines)
+
+
+def render_timeline(result, width: int = 72) -> str:
+    """ASCII Gantt of a replay run (needs run(record_timeline=True)).
+
+    One row per thread; '=' compute, '#' io, '.' lock/channel wait.
+    """
+    if not result.timeline or result.makespan_ns <= 0:
+        return "(no timeline recorded; pass record_timeline=True to run())"
+    scale = width / result.makespan_ns
+    tids = sorted({tid for tid, *_ in result.timeline})
+    rows = {tid: [" "] * width for tid in tids}
+    glyph = {"compute": "=", "io": "#", "wait": "."}
+    for tid, start, end, kind in result.timeline:
+        a = min(width - 1, int(start * scale))
+        b = min(width, max(a + 1, int(end * scale)))
+        for col in range(a, b):
+            rows[tid][col] = glyph.get(kind, "?")
+    lines = [f"timeline ({result.makespan_ns / 1e3:.1f} us, '=' cpu '#' io '.' wait)"]
+    for tid in tids:
+        lines.append(f"t{tid:<3}|" + "".join(rows[tid]) + "|")
+    return "\n".join(lines)
+
+
+def summarize_traces(traces, lock_ns: float = 32.0) -> str:
+    """Aggregate a batch of op traces into a cost breakdown."""
+    from collections import Counter
+
+    count = Counter()
+    total = Counter()
+    compute = Counter()
+    io = Counter()
+    for trace in traces:
+        count[trace.name] += 1
+        total[trace.name] += trace.duration_ns(lock_ns)
+        for seg in trace.segments:
+            if seg[0] == "compute":
+                compute[trace.name] += seg[1]
+            elif seg[0] == "io":
+                io[trace.name] += seg[1]
+    lines = [f"{'op':<14}{'n':>7}{'total us':>12}{'avg ns':>10}{'cpu %':>8}{'io %':>8}"]
+    for name in sorted(total, key=total.get, reverse=True):
+        t = total[name]
+        lines.append(
+            f"{name:<14}{count[name]:>7}{t / 1e3:>12.1f}{t / count[name]:>10.0f}"
+            f"{100 * compute[name] / t if t else 0:>8.0f}{100 * io[name] / t if t else 0:>8.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Log-block allocator.
+
+Hands out power-of-two sized, size-aligned blocks from a device region.
+Freed blocks go to per-size free lists. The allocator state itself is
+volatile: after a crash the metadata log is the source of truth, and the
+log region is rebuilt wholesale once recovery completes (matching the
+paper's "space can be reclaimed when the file is closed").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import AllocationError
+from repro.util import align_up, is_power_of_two
+
+
+class LogAllocator:
+    """Bump allocator with per-size free lists over [start, end)."""
+
+    def __init__(self, start: int, end: int) -> None:
+        if start < 0 or end < start:
+            raise ValueError(f"bad region [{start}, {end})")
+        self.start = start
+        self.end = end
+        self._cursor = start
+        self._free: Dict[int, List[int]] = {}
+        self.allocated_bytes = 0
+        self.peak_bytes = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.end - self.start
+
+    @property
+    def in_use(self) -> int:
+        return self.allocated_bytes
+
+    def alloc(self, size: int) -> int:
+        """Return the device offset of a fresh *size*-aligned block."""
+        if size <= 0 or not is_power_of_two(size):
+            raise AllocationError(f"log block size must be a power of two, got {size}")
+        free_list = self._free.get(size)
+        if free_list:
+            offset = free_list.pop()
+        else:
+            offset = align_up(self._cursor, size)
+            if offset + size > self.end:
+                offset = self._retry_from_free_lists(size)
+            else:
+                self._cursor = offset + size
+        self.allocated_bytes += size
+        self.peak_bytes = max(self.peak_bytes, self.allocated_bytes)
+        return offset
+
+    def _retry_from_free_lists(self, size: int) -> int:
+        # Split a larger free block if one exists; otherwise we are full.
+        for bigger in sorted(s for s in self._free if s > size and self._free[s]):
+            block = self._free[bigger].pop()
+            remaining = bigger
+            while remaining > size:
+                remaining //= 2
+                self._free.setdefault(remaining, []).append(block + remaining)
+            return block
+        raise AllocationError(
+            f"log region exhausted: need {size}, {self.end - self._cursor} left"
+        )
+
+    def free(self, offset: int, size: int) -> None:
+        if not is_power_of_two(size):
+            raise AllocationError(f"free of non power-of-two size {size}")
+        if offset < self.start or offset + size > self.end:
+            raise AllocationError(f"free of [{offset}, {offset + size}) outside region")
+        self._free.setdefault(size, []).append(offset)
+        self.allocated_bytes -= size
+
+    def reset(self) -> None:
+        """Reclaim everything (file closed / recovery finished)."""
+        self._cursor = self.start
+        self._free.clear()
+        self.allocated_bytes = 0

@@ -1,0 +1,137 @@
+"""CPU store-buffer / cache model in front of the durable medium.
+
+Semantics (matching x86 + ADR persistence):
+
+- ``store`` writes are immediately visible to loads but *volatile*.
+- ``flush`` (clwb) queues the covered cache lines for write-back.
+- ``fence`` (sfence) guarantees every queued line is durable.
+- Any dirty or queued line may *also* become durable at any moment
+  (cache eviction), so a crash image is: the fenced image, plus an
+  arbitrary subset of unfenced 8-byte words.
+
+Word (8-byte) granularity is the atomicity unit: an aligned 8-byte store
+never tears, anything larger may persist partially.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from repro.errors import OutOfRangeError, TornWriteError
+from repro.nvm.intervals import IntervalSet
+from repro.util import ATOMIC_UNIT, CACHE_LINE, align_down, align_up
+
+
+class StoreBuffer:
+    """Volatile view over a durable byte image."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.working = bytearray(size)  # what loads observe
+        self.durable = bytearray(size)  # what survives a crash (fenced)
+        self.dirty = IntervalSet()  # stored, not flushed
+        self.pending = IntervalSet()  # flushed, not fenced
+
+    # -- the persistence primitives ---------------------------------------
+
+    def store(self, offset: int, data: bytes) -> None:
+        end = offset + len(data)
+        if offset < 0 or end > self.size:
+            raise OutOfRangeError(f"store [{offset}, {end}) outside device of {self.size}")
+        self.working[offset:end] = data
+        self.dirty.add(align_down(offset, CACHE_LINE), align_up(end, CACHE_LINE))
+
+    def atomic_store_u64(self, offset: int, value: int) -> None:
+        """8-byte aligned atomic store (the only atomic unit NVM gives us)."""
+        if offset % ATOMIC_UNIT != 0:
+            raise TornWriteError(f"atomic store at unaligned offset {offset}")
+        self.store(offset, value.to_bytes(8, "little"))
+
+    def load(self, offset: int, length: int) -> bytes:
+        end = offset + length
+        if offset < 0 or end > self.size:
+            raise OutOfRangeError(f"load [{offset}, {end}) outside device of {self.size}")
+        return bytes(self.working[offset:end])
+
+    def load_u64(self, offset: int) -> int:
+        return int.from_bytes(self.load(offset, 8), "little")
+
+    def flush(self, offset: int, length: int) -> int:
+        """clwb every cache line covering [offset, offset+length).
+
+        Returns the number of lines flushed (for cost accounting). Clean
+        lines are skipped, as clwb on a clean line is nearly free.
+        """
+        start = align_down(offset, CACHE_LINE)
+        end = align_up(offset + length, CACHE_LINE)
+        moved = self.dirty.intersect(start, end)
+        if not moved:
+            return 0
+        self.dirty.remove(start, end)
+        nlines = 0
+        for s, e in moved:
+            self.pending.add(s, e)
+            nlines += (e - s) // CACHE_LINE
+        return nlines
+
+    def fence(self) -> None:
+        """sfence: everything previously flushed becomes durable."""
+        for start, end in self.pending.pop_all():
+            self.durable[start:end] = self.working[start:end]
+
+    def persist(self, offset: int, length: int) -> int:
+        """flush + fence convenience; returns lines flushed."""
+        nlines = self.flush(offset, length)
+        self.fence()
+        return nlines
+
+    def drain(self) -> None:
+        """Make the entire working image durable (orderly shutdown)."""
+        self.dirty.clear()
+        self.pending.clear()
+        self.durable[:] = self.working
+
+    # -- crash-image composition ------------------------------------------
+
+    def unfenced_words(self) -> List[int]:
+        """Offsets of every 8-byte word that differs between the working
+        and durable images and has not been fenced."""
+        words: List[int] = []
+        for interval_set in (self.dirty, self.pending):
+            for start, end in interval_set:
+                for off in range(start, end, ATOMIC_UNIT):
+                    if self.working[off : off + 8] != self.durable[off : off + 8]:
+                        words.append(off)
+        return sorted(set(words))
+
+    def crash_image(
+        self,
+        persist_words: Optional[Iterable[int]] = None,
+        rng: Optional[random.Random] = None,
+        persist_probability: float = 0.5,
+    ) -> bytearray:
+        """Compose a possible post-crash image.
+
+        - With ``persist_words``, exactly those unfenced words are taken
+          from the working image (for exhaustive adversarial tests).
+        - Otherwise each unfenced word independently persists with
+          ``persist_probability`` using ``rng`` (default: fresh RNG).
+        """
+        image = bytearray(self.durable)
+        candidates = self.unfenced_words()
+        if persist_words is not None:
+            chosen = set(persist_words)
+            unknown = chosen.difference(candidates)
+            if unknown:
+                raise OutOfRangeError(f"words {sorted(unknown)} are not unfenced")
+        else:
+            rng = rng or random.Random()
+            chosen = {w for w in candidates if rng.random() < persist_probability}
+        for off in chosen:
+            image[off : off + 8] = self.working[off : off + 8]
+        return image
+
+    def snapshot_durable(self) -> bytes:
+        """The image with *no* eviction of unfenced lines (kindest crash)."""
+        return bytes(self.durable)

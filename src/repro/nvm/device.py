@@ -1,0 +1,170 @@
+"""The simulated NVM DIMM: store buffer + traffic counters + crash hooks."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.nvm.cache import StoreBuffer
+from repro.nvm.crash import CrashPlan
+from repro.nvm.timing import OptaneTiming, TimingModel
+from repro.util import CACHE_LINE
+
+
+@dataclass
+class DeviceStats:
+    """Raw traffic counters, the ground truth for Table II.
+
+    ``stored_bytes`` counts every byte handed to the device's write path
+    (the paper's "write size received at the PMDK library").
+    """
+
+    stored_bytes: int = 0
+    loaded_bytes: int = 0
+    flushed_lines: int = 0
+    fences: int = 0
+    stores: int = 0
+    loads: int = 0
+
+    def snapshot(self) -> "DeviceStats":
+        return DeviceStats(**vars(self))
+
+    def delta(self, since: "DeviceStats") -> "DeviceStats":
+        return DeviceStats(
+            stored_bytes=self.stored_bytes - since.stored_bytes,
+            loaded_bytes=self.loaded_bytes - since.loaded_bytes,
+            flushed_lines=self.flushed_lines - since.flushed_lines,
+            fences=self.fences - since.fences,
+            stores=self.stores - since.stores,
+            loads=self.loads - since.loads,
+        )
+
+
+class NvmDevice:
+    """Byte-addressable persistent device with explicit persistence ops.
+
+    A ``tracer`` (duck-typed, see :class:`repro.sim.trace.TraceRecorder`)
+    may be attached; every media operation reports its cost segment so
+    file-system code does not have to price device traffic by hand.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        timing: Optional[TimingModel] = None,
+        name: str = "pmem0",
+    ) -> None:
+        self.size = size
+        self.name = name
+        self.timing = timing or OptaneTiming()
+        self.buffer = StoreBuffer(size)
+        self.stats = DeviceStats()
+        self.tracer = None  # duck-typed: io_write / io_read / io_flush / io_fence
+        self.crash_plan: Optional[CrashPlan] = None
+
+    # -- persistence primitives -------------------------------------------
+
+    def store(self, offset: int, data: bytes) -> None:
+        """Cached store: visible immediately, durable only after persist."""
+        if self.crash_plan is not None:
+            self.crash_plan.on_event("store")
+        self.buffer.store(offset, data)
+        self.stats.stores += 1
+        self.stats.stored_bytes += len(data)
+        if self.tracer is not None:
+            self.tracer.io_cached(len(data))
+
+    def nt_store(self, offset: int, data: bytes) -> None:
+        """Non-temporal store: bypasses the cache (store + clwb in one);
+        still requires a fence to be ordered-durable."""
+        if self.crash_plan is not None:
+            self.crash_plan.on_event("store")
+        self.buffer.store(offset, data)
+        flushed = self.buffer.flush(offset, len(data))
+        self.stats.stores += 1
+        self.stats.stored_bytes += len(data)
+        self.stats.flushed_lines += flushed
+        if self.tracer is not None:
+            self.tracer.io_write(len(data))
+
+    def atomic_store_u64(self, offset: int, value: int) -> None:
+        if self.crash_plan is not None:
+            self.crash_plan.on_event("store")
+        self.buffer.atomic_store_u64(offset, value)
+        self.stats.stores += 1
+        self.stats.stored_bytes += 8
+        if self.tracer is not None:
+            self.tracer.io_cached(8)
+
+    def load(self, offset: int, length: int) -> bytes:
+        data = self.buffer.load(offset, length)
+        self.stats.loads += 1
+        self.stats.loaded_bytes += length
+        if self.tracer is not None:
+            self.tracer.io_read(length)
+        return data
+
+    def load_u64(self, offset: int) -> int:
+        return int.from_bytes(self.load(offset, 8), "little")
+
+    def flush(self, offset: int, length: int) -> None:
+        if self.crash_plan is not None:
+            self.crash_plan.on_event("flush")
+        nlines = self.buffer.flush(offset, length)
+        self.stats.flushed_lines += nlines
+        if self.tracer is not None:
+            self.tracer.io_flush(nlines)
+
+    def fence(self) -> None:
+        if self.crash_plan is not None:
+            self.crash_plan.on_event("fence")
+        self.buffer.fence()
+        self.stats.fences += 1
+        if self.tracer is not None:
+            self.tracer.io_fence()
+
+    def persist(self, offset: int, length: int) -> None:
+        """flush + fence of one range (pmem_persist)."""
+        self.flush(offset, length)
+        self.fence()
+
+    # -- crash / recovery ---------------------------------------------------
+
+    def crash_image(
+        self,
+        persist_words: Optional[Iterable[int]] = None,
+        rng: Optional[random.Random] = None,
+        persist_probability: float = 0.5,
+    ) -> bytearray:
+        """A possible post-crash content of the medium (see StoreBuffer)."""
+        return self.buffer.crash_image(persist_words, rng, persist_probability)
+
+    def unfenced_words(self):
+        return self.buffer.unfenced_words()
+
+    def drain(self) -> None:
+        """Orderly shutdown: everything written becomes durable."""
+        self.buffer.drain()
+
+    @classmethod
+    def from_image(
+        cls, image: bytes, timing: Optional[TimingModel] = None, name: str = "pmem0"
+    ) -> "NvmDevice":
+        """Boot a device from a crash image (the recovered machine)."""
+        device = cls(len(image), timing=timing, name=name)
+        device.buffer.working[:] = image
+        device.buffer.durable[:] = image
+        return device
+
+    # -- derived accounting --------------------------------------------------
+
+    def line_of(self, offset: int) -> int:
+        return offset // CACHE_LINE
+
+    def write_amplification(self, api_bytes: int, since: Optional[DeviceStats] = None) -> float:
+        """Device bytes written / API bytes, optionally since a snapshot."""
+        stats = self.stats if since is None else self.stats.delta(since)
+        if api_bytes <= 0:
+            return 0.0
+        return stats.stored_bytes / api_bytes

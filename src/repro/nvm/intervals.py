@@ -1,0 +1,135 @@
+"""Sorted, coalesced half-open integer interval sets.
+
+Used by the store-buffer model to track dirty and flush-pending byte
+ranges, and by tests to reason about coverage.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, List, Tuple
+
+Interval = Tuple[int, int]
+
+
+class IntervalSet:
+    """A set of non-overlapping, sorted, coalesced [start, end) intervals."""
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+        for start, end in intervals:
+            self.add(start, end)
+
+    # -- queries ---------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(zip(self._starts, self._ends))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._starts == other._starts and self._ends == other._ends
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"[{s}, {e})" for s, e in self)
+        return f"IntervalSet({body})"
+
+    def total(self) -> int:
+        """Sum of interval lengths."""
+        return sum(e - s for s, e in self)
+
+    def contains(self, point: int) -> bool:
+        idx = bisect_right(self._starts, point) - 1
+        return idx >= 0 and point < self._ends[idx]
+
+    def covers(self, start: int, end: int) -> bool:
+        """True when [start, end) is entirely inside one interval."""
+        if start >= end:
+            return True
+        idx = bisect_right(self._starts, start) - 1
+        return idx >= 0 and end <= self._ends[idx]
+
+    def overlaps(self, start: int, end: int) -> bool:
+        if start >= end or not self._starts:
+            return False
+        idx = bisect_right(self._starts, start) - 1
+        if idx >= 0 and start < self._ends[idx]:
+            return True
+        nxt = bisect_left(self._starts, start)
+        return nxt < len(self._starts) and self._starts[nxt] < end
+
+    def intersect(self, start: int, end: int) -> "IntervalSet":
+        """Return the part of this set inside [start, end)."""
+        result = IntervalSet()
+        if start >= end:
+            return result
+        idx = max(0, bisect_right(self._starts, start) - 1)
+        for i in range(idx, len(self._starts)):
+            s, e = self._starts[i], self._ends[i]
+            if s >= end:
+                break
+            lo, hi = max(s, start), min(e, end)
+            if lo < hi:
+                result.add(lo, hi)
+        return result
+
+    # -- mutation --------------------------------------------------------
+
+    def add(self, start: int, end: int) -> None:
+        """Insert [start, end), coalescing with touching neighbours."""
+        if start >= end:
+            return
+        starts, ends = self._starts, self._ends
+        lo = bisect_left(ends, start)
+        hi = bisect_right(starts, end)
+        if lo < hi:
+            start = min(start, starts[lo])
+            end = max(end, ends[hi - 1])
+        starts[lo:hi] = [start]
+        ends[lo:hi] = [end]
+
+    def remove(self, start: int, end: int) -> None:
+        """Delete [start, end) from the set, splitting as needed."""
+        if start >= end or not self._starts:
+            return
+        starts, ends = self._starts, self._ends
+        # First interval that extends past `start`; stop at `end`.
+        i = bisect_right(ends, start)
+        j = i
+        new_starts: List[int] = []
+        new_ends: List[int] = []
+        while j < len(starts) and starts[j] < end:
+            s, e = starts[j], ends[j]
+            if s < start:
+                new_starts.append(s)
+                new_ends.append(start)
+            if e > end:
+                new_starts.append(end)
+                new_ends.append(e)
+            j += 1
+        starts[i:j] = new_starts
+        ends[i:j] = new_ends
+
+    def pop_all(self) -> List[Interval]:
+        """Return every interval and clear the set."""
+        out = list(self)
+        self._starts.clear()
+        self._ends.clear()
+        return out
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._ends.clear()
+
+    def update(self, other: "IntervalSet") -> None:
+        for s, e in other:
+            self.add(s, e)

@@ -1,0 +1,24 @@
+"""Virtual-time execution model.
+
+File-system operations execute *functionally* right away (so data and
+crash state are always real), while recording a cost trace — compute
+segments, media I/O segments, and lock acquire/release events. Summing a
+trace gives single-thread latency; replaying many threads' traces through
+:class:`~repro.sim.engine.ReplayEngine` yields contended multi-thread
+timing (Fig 10) with MGL lock semantics and limited NVM channel
+parallelism.
+"""
+
+from repro.sim.engine import ReplayEngine, ReplayResult
+from repro.sim.locks import COMPATIBLE, LockMode
+from repro.sim.trace import OpTrace, Segment, TraceRecorder
+
+__all__ = [
+    "COMPATIBLE",
+    "LockMode",
+    "OpTrace",
+    "ReplayEngine",
+    "ReplayResult",
+    "Segment",
+    "TraceRecorder",
+]

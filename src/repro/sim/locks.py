@@ -1,0 +1,101 @@
+"""Virtual multiple-granularity locks (Table I of the paper).
+
+These locks arbitrate *virtual time* in the replay engine; they are not
+thread-synchronization primitives (the functional execution is
+single-threaded). Compatibility follows Gray's multiple granularity
+locking:
+
+====  ====  ====  ====  ====
+ .     IR    IW    R     W
+====  ====  ====  ====  ====
+ IR    ok    ok    ok    --
+ IW    ok    ok    --    --
+ R     ok    --    ok    --
+ W     --    --    --    --
+====  ====  ====  ====  ====
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Hashable, List, Tuple
+
+
+class LockMode:
+    IR = "IR"
+    IW = "IW"
+    R = "R"
+    W = "W"
+
+    ALL = (IR, IW, R, W)
+
+
+COMPATIBLE: Dict[str, frozenset] = {
+    LockMode.IR: frozenset({LockMode.IR, LockMode.IW, LockMode.R}),
+    LockMode.IW: frozenset({LockMode.IR, LockMode.IW}),
+    LockMode.R: frozenset({LockMode.IR, LockMode.R}),
+    LockMode.W: frozenset(),
+}
+
+
+def compatible(requested: str, held: str) -> bool:
+    return held in COMPATIBLE[requested]
+
+
+class VirtualLock:
+    """One lockable object: holder multiset + FIFO waiter queue."""
+
+    __slots__ = ("key", "holders", "waiters")
+
+    def __init__(self, key: Hashable) -> None:
+        self.key = key
+        self.holders: List[Tuple[int, str]] = []  # (thread id, mode)
+        self.waiters: Deque[Tuple[int, str]] = deque()
+
+    def can_grant(self, tid: int, mode: str) -> bool:
+        for holder_tid, holder_mode in self.holders:
+            if holder_tid == tid:
+                continue  # re-entrant with self (same thread, any mode)
+            if not compatible(mode, holder_mode):
+                return False
+        return True
+
+    def grant(self, tid: int, mode: str) -> None:
+        self.holders.append((tid, mode))
+
+    def release(self, tid: int) -> None:
+        """Release this thread's most recent grant on the lock."""
+        for i in range(len(self.holders) - 1, -1, -1):
+            if self.holders[i][0] == tid:
+                del self.holders[i]
+                return
+        raise KeyError(f"thread {tid} does not hold lock {self.key!r}")
+
+    def grantable_waiters(self) -> List[Tuple[int, str]]:
+        """FIFO-pop the longest compatible prefix of waiters."""
+        granted: List[Tuple[int, str]] = []
+        while self.waiters:
+            tid, mode = self.waiters[0]
+            if not self.can_grant(tid, mode):
+                break
+            self.waiters.popleft()
+            self.grant(tid, mode)
+            granted.append((tid, mode))
+        return granted
+
+
+class LockTable:
+    """All virtual locks in one replay, created on demand."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[Hashable, VirtualLock] = {}
+
+    def get(self, key: Hashable) -> VirtualLock:
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = VirtualLock(key)
+            self._locks[key] = lock
+        return lock
+
+    def __len__(self) -> int:
+        return len(self._locks)

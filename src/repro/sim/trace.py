@@ -1,0 +1,172 @@
+"""Cost traces recorded by file-system operations.
+
+A segment is a small tuple-like record; four kinds exist:
+
+- ``("compute", ns)`` — CPU work on the calling thread.
+- ``("io", ns)`` — a media operation that occupies one NVM channel.
+- ``("lock", key, mode)`` — acquire *key* in MGL mode ``IR/IW/R/W``.
+- ``("unlock", key)`` — release.
+
+The recorder also implements the duck-typed device-tracer interface
+(io_write / io_read / io_flush / io_fence) so that attaching it to an
+:class:`~repro.nvm.device.NvmDevice` prices all media traffic
+automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
+
+from repro.nvm.timing import TimingModel
+
+Segment = Tuple  # ("compute", ns) | ("io", ns) | ("lock", key, mode) | ("unlock", key)
+
+
+@dataclass
+class OpTrace:
+    """The priced execution of one file-system operation."""
+
+    name: str = "op"
+    segments: List[Segment] = field(default_factory=list)
+
+    def duration_ns(self, lock_ns: float = 0.0) -> float:
+        """Uncontended duration: sum of compute + io, plus a fixed cost
+        per lock/unlock event."""
+        total = 0.0
+        for seg in self.segments:
+            kind = seg[0]
+            if kind in ("compute", "io"):
+                total += seg[1]
+            else:
+                total += lock_ns
+        return total
+
+    def io_ns(self) -> float:
+        return sum(seg[1] for seg in self.segments if seg[0] == "io")
+
+    def lock_keys(self) -> List[Hashable]:
+        return [seg[1] for seg in self.segments if seg[0] == "lock"]
+
+
+class TraceRecorder:
+    """Accumulates segments for the operation currently executing.
+
+    ``begin_op``/``end_op`` bracket one logical operation. When no op is
+    open, costs are still accepted (they land in an "ambient" trace) so
+    code paths can be shared between benchmarked and plain execution.
+    """
+
+    def __init__(self, timing: TimingModel) -> None:
+        self.timing = timing
+        self.current: Optional[OpTrace] = None
+        self.completed: List[OpTrace] = []
+        self.enabled = True
+
+    # -- op lifecycle ------------------------------------------------------
+
+    def begin_op(self, name: str) -> None:
+        if self.current is not None:
+            # Ambient (outside-an-op) costs get their own trace.
+            self.completed.append(self.current)
+        self.current = OpTrace(name=name)
+
+    def end_op(self) -> OpTrace:
+        trace = self.current if self.current is not None else OpTrace()
+        self.completed.append(trace)
+        self.current = None
+        return trace
+
+    def take_completed(self) -> List[OpTrace]:
+        # Flush any open ambient trace (costs charged outside an op,
+        # e.g. the database's SQL-layer CPU) so callers never lose it.
+        if self.current is not None and self.current.name == "ambient":
+            self.completed.append(self.current)
+            self.current = None
+        out = self.completed
+        self.completed = []
+        return out
+
+    def _emit(self, segment: Segment) -> None:
+        if not self.enabled:
+            return
+        if self.current is None:
+            self.current = OpTrace(name="ambient")
+        self.current.segments.append(segment)
+
+    # -- explicit costs ------------------------------------------------------
+
+    def compute(self, ns: float) -> None:
+        if ns > 0:
+            self._emit(("compute", ns))
+
+    def lock(self, key: Hashable, mode: str) -> None:
+        self._emit(("lock", key, mode))
+
+    def unlock(self, key: Hashable) -> None:
+        self._emit(("unlock", key))
+
+    # -- device tracer interface ----------------------------------------------
+
+    def io_write(self, nbytes: int) -> None:
+        visible = self.timing.media_write_ns(nbytes)
+        occupancy = visible
+        if self.timing.write_channel_ns_per_byte:
+            occupancy = (
+                self.timing.write_latency_ns
+                + nbytes * self.timing.write_channel_ns_per_byte
+            )
+        self._emit(("io", visible, occupancy))
+
+    def io_cached(self, nbytes: int) -> None:
+        """A store that lands in the CPU cache: cheap; the media cost is
+        charged by the flush that later writes the line back."""
+        self._emit(("compute", 12.0 + nbytes * 0.02))
+
+    def io_read(self, nbytes: int) -> None:
+        self._emit(("io", self.timing.media_read_ns(nbytes)))
+
+    def io_flush(self, nlines: int) -> None:
+        if nlines > 0:
+            self._emit(("io", nlines * self.timing.flush_ns))
+
+    def io_fence(self) -> None:
+        self._emit(("compute", self.timing.fence_ns))
+
+
+class NullRecorder:
+    """Recorder that ignores everything (for correctness-only runs)."""
+
+    def __init__(self, timing: Optional[TimingModel] = None) -> None:
+        self.timing = timing or TimingModel()
+        self.enabled = False
+
+    def io_cached(self, nbytes: int) -> None:
+        pass
+
+    def begin_op(self, name: str) -> None:  # pragma: no cover - trivial
+        pass
+
+    def end_op(self) -> OpTrace:
+        return OpTrace()
+
+    def compute(self, ns: float) -> None:
+        pass
+
+    def lock(self, key: Hashable, mode: str) -> None:
+        pass
+
+    def unlock(self, key: Hashable) -> None:
+        pass
+
+    def io_write(self, nbytes: int) -> None:
+        pass
+
+    def io_read(self, nbytes: int) -> None:
+        pass
+
+    def io_flush(self, nlines: int) -> None:
+        pass
+
+    def io_fence(self) -> None:
+        pass

@@ -1,0 +1,70 @@
+"""``run.sh``-compatible CLI (the artifact's finest-grained entry point).
+
+The paper's appendix documents::
+
+    run.sh fs op fsize bs fsync t_num write_ratio runtime ramptime
+
+We accept the same positional parameters (runtime/ramptime map to an
+operation count, since time here is virtual)::
+
+    python -m repro.workloads MGSP write 16m 4k 1 1 0 10 5
+    python -m repro.workloads Ext4-DAX randrw 16m 4k 1 4 50
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.harness import run_one
+from repro.util import fmt_size, parse_size
+from repro.workloads.fio import FioJob
+
+#: virtual ops per "runtime second" — keeps CLI runs fast while scaling
+#: with the requested duration like the artifact's scripts do.
+OPS_PER_SECOND = 40
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="FIO-style benchmark, run.sh-compatible parameters",
+    )
+    parser.add_argument("fs", help="Ext4-DAX | Libnvmmio | NOVA | MGSP | Ext4-<mode>")
+    parser.add_argument("op", help="write|randwrite|read|randread|rw|randrw")
+    parser.add_argument("fsize", help="file size, e.g. 16m")
+    parser.add_argument("bs", help="block size, e.g. 4k")
+    parser.add_argument("fsync", nargs="?", default="1", help="writes between fsyncs (0=never)")
+    parser.add_argument("t_num", nargs="?", default="1", help="thread count")
+    parser.add_argument("write_ratio", nargs="?", default="50", help="%% writes for rw mixes")
+    parser.add_argument("runtime", nargs="?", default="10", help="virtual seconds (maps to op count)")
+    parser.add_argument("ramptime", nargs="?", default="0", help="accepted for compatibility")
+    args = parser.parse_args(argv)
+
+    threads = int(args.t_num)
+    job = FioJob(
+        op=args.op,
+        fsize=parse_size(args.fsize),
+        bs=parse_size(args.bs),
+        fsync=int(args.fsync),
+        threads=threads,
+        write_ratio=int(args.write_ratio) / 100.0,
+        nops=max(1, int(args.runtime)) * OPS_PER_SECOND * threads,
+    )
+    result = run_one(args.fs, job)
+    print(
+        f"{result.fs_name} {job.op} bs={fmt_size(job.bs)} file={fmt_size(job.fsize)} "
+        f"fsync={job.fsync} threads={job.threads}"
+    )
+    print(f"  throughput : {result.throughput_mb_s:,.1f} MB/s ({result.iops:,.0f} IOPS)")
+    print(
+        f"  latency    : p50={result.latency_percentile(50):,.0f} ns "
+        f"p99={result.latency_percentile(99):,.0f} ns"
+    )
+    print(f"  write amp  : {result.write_amplification:.3f}")
+    if result.lock_wait_ns:
+        print(f"  lock wait  : {result.lock_wait_ns / 1e3:,.1f} us total")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MgspConfig, MgspFilesystem
+from repro.fs import Ext4, Ext4Dax, Libnvmmio, Nova, Splitfs
+from repro.nvm.device import NvmDevice
+
+SMALL_DEVICE = 32 << 20
+
+
+@pytest.fixture
+def device():
+    return NvmDevice(SMALL_DEVICE)
+
+
+@pytest.fixture
+def mgsp():
+    return MgspFilesystem(device_size=64 << 20, config=MgspConfig(degree=16))
+
+
+_FACTORIES = {
+    "Ext4-DAX": lambda size: Ext4Dax(device_size=size),
+    "Ext4-wb": lambda size: Ext4(device_size=size, mode="wb"),
+    "Ext4-ordered": lambda size: Ext4(device_size=size, mode="ordered"),
+    "Ext4-journal": lambda size: Ext4(device_size=size, mode="journal"),
+    "NOVA": lambda size: Nova(device_size=size),
+    "Libnvmmio": lambda size: Libnvmmio(device_size=size),
+    "SplitFS": lambda size: Splitfs(device_size=size),
+    "MGSP": lambda size: MgspFilesystem(device_size=size),
+}
+
+
+def make_filesystem(name, device_size=64 << 20):
+    return _FACTORIES[name](device_size)
+
+
+def make_all_filesystems(device_size=64 << 20):
+    """Fresh instances of every file system (for contract tests)."""
+    return [factory(device_size) for factory in _FACTORIES.values()]
+
+
+ALL_FS_NAMES = [
+    "Ext4-DAX",
+    "Ext4-wb",
+    "Ext4-ordered",
+    "Ext4-journal",
+    "NOVA",
+    "Libnvmmio",
+    "SplitFS",
+    "MGSP",
+]

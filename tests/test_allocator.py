@@ -1,0 +1,98 @@
+"""LogAllocator: alignment, reuse, splitting, exhaustion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.nvm.allocator import LogAllocator
+
+
+class TestAlloc:
+    def test_alignment(self):
+        alloc = LogAllocator(1000, 1 << 20)
+        for size in (4096, 8192, 65536):
+            off = alloc.alloc(size)
+            assert off % size == 0
+            assert off >= 1000
+
+    def test_rejects_non_power_of_two(self):
+        alloc = LogAllocator(0, 1 << 20)
+        with pytest.raises(AllocationError):
+            alloc.alloc(3000)
+        with pytest.raises(AllocationError):
+            alloc.alloc(0)
+
+    def test_free_reuse(self):
+        alloc = LogAllocator(0, 1 << 20)
+        a = alloc.alloc(4096)
+        alloc.free(a, 4096)
+        b = alloc.alloc(4096)
+        assert b == a
+
+    def test_distinct_until_freed(self):
+        alloc = LogAllocator(0, 1 << 20)
+        offs = {alloc.alloc(4096) for _ in range(16)}
+        assert len(offs) == 16
+
+    def test_split_from_larger_free_block(self):
+        alloc = LogAllocator(0, 64 * 1024)
+        big = alloc.alloc(32 * 1024)
+        rest = alloc.alloc(16 * 1024)
+        alloc.alloc(8 * 1024)
+        alloc.alloc(4 * 1024)
+        alloc.alloc(4 * 1024)
+        # Region now full; freeing the 32K block must satisfy 4K allocs.
+        alloc.free(big, 32 * 1024)
+        small = alloc.alloc(4096)
+        assert big <= small < big + 32 * 1024
+
+    def test_exhaustion_raises(self):
+        alloc = LogAllocator(0, 8192)
+        alloc.alloc(4096)
+        alloc.alloc(4096)
+        with pytest.raises(AllocationError):
+            alloc.alloc(4096)
+
+    def test_accounting(self):
+        alloc = LogAllocator(0, 1 << 20)
+        a = alloc.alloc(4096)
+        assert alloc.in_use == 4096
+        assert alloc.peak_bytes == 4096
+        alloc.free(a, 4096)
+        assert alloc.in_use == 0
+        assert alloc.peak_bytes == 4096
+
+    def test_free_outside_region_rejected(self):
+        alloc = LogAllocator(4096, 1 << 20)
+        with pytest.raises(AllocationError):
+            alloc.free(0, 4096)
+
+    def test_reset(self):
+        alloc = LogAllocator(0, 1 << 20)
+        alloc.alloc(65536)
+        alloc.reset()
+        assert alloc.in_use == 0
+        assert alloc.alloc(65536) == 0
+
+
+@given(
+    st.lists(
+        st.sampled_from([4096, 8192, 16384, 65536]),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_allocations_never_overlap(sizes):
+    alloc = LogAllocator(0, 16 << 20)
+    live = []
+    for i, size in enumerate(sizes):
+        off = alloc.alloc(size)
+        for other_off, other_size in live:
+            assert off + size <= other_off or other_off + other_size <= off
+        live.append((off, size))
+        if i % 3 == 2:  # free oldest occasionally to exercise reuse
+            old_off, old_size = live.pop(0)
+            alloc.free(old_off, old_size)

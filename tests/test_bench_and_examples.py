@@ -1,0 +1,113 @@
+"""Bench harness plumbing + the runnable examples."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.figures import EXPERIMENTS, run_all, tab02
+from repro.bench.harness import Table, run_one, sweep_fio
+from repro.bench.registry import FS_NAMES, device_size_for, make_fs
+from repro.workloads.fio import FioJob
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", FS_NAMES)
+    def test_factories(self, name):
+        fs = make_fs(name, device_size=64 << 20)
+        assert fs.name == name
+
+    def test_ext4_modes(self):
+        assert make_fs("Ext4-ordered", device_size=64 << 20).name == "Ext4-ordered"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_fs("ZFS")
+
+    def test_device_size_for(self):
+        assert device_size_for(1 << 20) == 64 << 20
+        assert device_size_for(64 << 20) == 256 << 20
+
+
+class TestTable:
+    def test_set_value_render(self):
+        table = Table(title="T")
+        table.set("a", "x", 1.25)
+        table.set("a", "y", "hi")
+        table.set("b", "x", 3)
+        text = table.render()
+        assert "T" in text and "1.2" in text and "hi" in text
+        assert table.value("a", "x") == pytest.approx(1.2, abs=0.06)
+        assert str(table) == text
+
+    def test_missing_cell_rendered_as_dash(self):
+        table = Table(title="T")
+        table.set("a", "x", 1)
+        table.set("b", "y", 2)
+        assert "-" in table.render()
+
+
+class TestHarness:
+    def test_run_one(self):
+        result = run_one("MGSP", FioJob(op="write", bs=4096, fsize=4 << 20, nops=20))
+        assert result.fs_name == "MGSP"
+        assert result.throughput_mb_s > 0
+
+    def test_sweep_fio(self):
+        jobs = [FioJob(op="write", bs=bs, fsize=4 << 20, nops=20) for bs in (1024, 4096)]
+        table = sweep_fio(("Ext4-DAX", "MGSP"), jobs, title="sweep")
+        assert table.value("MGSP", "4096") > 0
+        assert set(table.rows) == {"Ext4-DAX", "MGSP"}
+
+
+class TestFigures:
+    def test_registry_complete(self):
+        expected = {
+            "fig01", "fig07", "fig08-write", "fig08-randwrite", "fig08-read",
+            "fig08-randread", "fig09", "fig10-1k", "fig10-4k", "fig10-16k",
+            "fig11-wal", "fig11-off", "fig12-wal", "fig12-off", "tab02",
+            "fig13", "recovery",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_run_all_selection(self):
+        results = dict(run_all(["tab02"]))
+        assert "tab02" in results
+        assert "amplification" in results["tab02"]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            list(run_all(["fig99"]))
+
+    def test_tab02_quick(self):
+        table = tab02(nops=60)
+        assert 1.8 < table.value("Libnvmmio", "4K") < 2.3
+        assert table.value("MGSP", "4K") < 1.2
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "crash_recovery.py",
+        "database_on_mgsp.py",
+        "atomic_transactions.py",
+        "contention_timeline.py",
+    ],
+)
+def test_examples_run_clean(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_fio_comparison_example(monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", ["fio_comparison.py", "--nops", "40"])
+    runpy.run_path(str(EXAMPLES / "fio_comparison.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "MGSP" in out and "x" in out

@@ -1,0 +1,52 @@
+"""The two CLIs: python -m repro.workloads and python -m repro.bench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.workloads.__main__ import main as fio_main
+
+
+class TestFioCli:
+    def test_basic_run(self, capsys):
+        assert fio_main(["MGSP", "write", "8m", "4k", "1", "1", "0", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "MB/s" in out
+        assert "write amp" in out
+
+    def test_defaults(self, capsys):
+        assert fio_main(["Ext4-DAX", "randread", "8m", "4k"]) == 0
+        assert "IOPS" in capsys.readouterr().out
+
+    def test_multithread_reports_lock_wait(self, capsys):
+        assert fio_main(["Ext4-DAX", "write", "8m", "4k", "1", "4", "0", "2"]) == 0
+        assert "lock wait" in capsys.readouterr().out
+
+    def test_mixed_ratio(self, capsys):
+        assert fio_main(["NOVA", "randrw", "8m", "4k", "1", "1", "30", "2"]) == 0
+        assert "randrw" in capsys.readouterr().out
+
+    def test_unknown_fs_raises(self):
+        with pytest.raises(ValueError):
+            fio_main(["BTRFS", "write", "8m", "4k"])
+
+
+class TestBenchCli:
+    def test_list(self, capsys):
+        assert bench_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08-write" in out and "tab02" in out
+
+    def test_single_experiment(self, capsys):
+        assert bench_main(["tab02"]) == 0
+        assert "amplification" in capsys.readouterr().out
+
+    def test_report_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert bench_main(["tab02", "-o", str(target)]) == 0
+        assert "amplification" in target.read_text()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            bench_main(["fig99"])

@@ -1,0 +1,168 @@
+"""B+tree over the pager: point ops, splits, scans, fuzz vs dict."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.db.btree import BTree
+from repro.db.pager import Pager
+from repro.fs import Ext4Dax
+
+
+def make_tree(cache_pages=10_000):
+    fs = Ext4Dax(device_size=64 << 20)
+    handle = fs.create("db", 16 << 20)
+    pager = Pager(handle, cache_pages=cache_pages)
+    root = pager.allocate()
+    return BTree(pager, root, initialize=True), pager
+
+
+def k(i):
+    return f"key-{i:08d}".encode()
+
+
+class TestPointOps:
+    def test_insert_get(self):
+        tree, _ = make_tree()
+        tree.insert(b"a", b"1")
+        tree.insert(b"b", b"2")
+        assert tree.get(b"a") == b"1"
+        assert tree.get(b"b") == b"2"
+        assert tree.get(b"c") is None
+
+    def test_upsert_overwrites(self):
+        tree, _ = make_tree()
+        tree.insert(b"a", b"1")
+        tree.insert(b"a", b"2")
+        assert tree.get(b"a") == b"2"
+        assert tree.count() == 1
+
+    def test_delete(self):
+        tree, _ = make_tree()
+        tree.insert(b"a", b"1")
+        assert tree.delete(b"a") is True
+        assert tree.get(b"a") is None
+        assert tree.delete(b"a") is False
+
+    def test_empty_tree(self):
+        tree, _ = make_tree()
+        assert tree.get(b"x") is None
+        assert tree.count() == 0
+        assert list(tree.scan()) == []
+
+
+class TestSplits:
+    def test_many_inserts_force_splits(self):
+        tree, pager = make_tree()
+        n = 2000
+        for i in range(n):
+            tree.insert(k(i), b"v" * 50)
+        assert pager.page_count > 10  # splits happened
+        for i in range(0, n, 97):
+            assert tree.get(k(i)) == b"v" * 50
+        assert tree.count() == n
+
+    def test_root_page_is_stable(self):
+        tree, _ = make_tree()
+        root = tree.root_page
+        for i in range(2000):
+            tree.insert(k(i), b"v" * 60)
+        assert tree.root_page == root  # root split rewrote in place
+
+    def test_reverse_insertion_order(self):
+        tree, _ = make_tree()
+        for i in reversed(range(1000)):
+            tree.insert(k(i), str(i).encode())
+        assert [key for key, _ in tree.scan()] == [k(i) for i in range(1000)]
+
+    def test_large_values(self):
+        tree, _ = make_tree()
+        for i in range(30):
+            tree.insert(k(i), bytes([i]) * 1500)
+        for i in range(30):
+            assert tree.get(k(i)) == bytes([i]) * 1500
+
+
+class TestScans:
+    def test_full_scan_sorted(self):
+        tree, _ = make_tree()
+        keys = [f"{x:04d}".encode() for x in random.Random(1).sample(range(5000), 500)]
+        for key in keys:
+            tree.insert(key, b"v")
+        assert [key for key, _ in tree.scan()] == sorted(keys)
+
+    def test_range_scan(self):
+        tree, _ = make_tree()
+        for i in range(100):
+            tree.insert(k(i), str(i).encode())
+        got = [key for key, _ in tree.scan(k(10), k(20))]
+        assert got == [k(i) for i in range(10, 20)]
+
+    def test_scan_from_missing_start(self):
+        tree, _ = make_tree()
+        tree.insert(b"b", b"1")
+        tree.insert(b"d", b"2")
+        assert [key for key, _ in tree.scan(b"c")] == [b"d"]
+
+    def test_scan_crosses_leaf_boundaries(self):
+        tree, _ = make_tree()
+        n = 3000
+        for i in range(n):
+            tree.insert(k(i), b"x" * 40)
+        assert sum(1 for _ in tree.scan(k(100), k(2900))) == 2800
+
+
+class TestFuzz:
+    def test_against_dict(self):
+        tree, _ = make_tree()
+        rng = random.Random(9)
+        model = {}
+        for step in range(3000):
+            key = f"{rng.randrange(800):05d}".encode()
+            action = rng.random()
+            if action < 0.6:
+                val = str(step).encode()
+                tree.insert(key, val)
+                model[key] = val
+            elif action < 0.8:
+                assert tree.get(key) == model.get(key)
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        assert dict(tree.scan()) == model
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=30), st.binary(max_size=100)),
+            max_size=300,
+        )
+    )
+    def test_insert_scan_property(self, pairs):
+        tree, _ = make_tree()
+        model = {}
+        for key, val in pairs:
+            tree.insert(key, val)
+            model[key] = val
+        assert dict(tree.scan()) == model
+        assert [key for key, _ in tree.scan()] == sorted(model)
+
+
+class TestEvictionSafety:
+    def test_tree_survives_tiny_cache(self):
+        """Pages evicted and re-read from the file must parse back."""
+        fs = Ext4Dax(device_size=64 << 20)
+        handle = fs.create("db", 16 << 20)
+        pager = Pager(handle, cache_pages=4)
+        root = pager.allocate()
+        tree = BTree(pager, root, initialize=True)
+        for i in range(500):
+            tree.insert(k(i), b"v" * 30)
+            pager.flush_to_file()  # commit so clean pages may be evicted
+            handle.fsync()
+        for i in range(0, 500, 41):
+            assert tree.get(k(i)) == b"v" * 30

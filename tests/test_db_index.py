@@ -1,0 +1,118 @@
+"""Secondary indexes on database tables."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db import Database
+from repro.errors import SchemaError
+from repro.fs import Ext4Dax
+
+
+@pytest.fixture
+def table():
+    fs = Ext4Dax(device_size=96 << 20)
+    db = Database(fs, journal_mode="wal")
+    t = db.create_table("people")
+    t.create_index("by_name", (0,))
+    return fs, db, t
+
+
+class TestIndexes:
+    def test_lookup_by_matches(self, table):
+        _, _, t = table
+        for i in range(12):
+            t.insert((i,), (f"name{i % 3}", i))
+        rows = list(t.lookup_by("by_name", ("name1",)))
+        assert sorted(r[1] for r in rows) == [1, 4, 7, 10]
+
+    def test_update_moves_index_entry(self, table):
+        _, _, t = table
+        t.insert((1,), ("alice", 10))
+        t.update((1,), ("bob", 10))
+        assert list(t.lookup_by("by_name", ("alice",))) == []
+        assert list(t.lookup_by("by_name", ("bob",))) == [("bob", 10)]
+
+    def test_delete_removes_index_entry(self, table):
+        _, _, t = table
+        t.insert((1,), ("alice", 10))
+        t.delete((1,))
+        assert list(t.lookup_by("by_name", ("alice",))) == []
+
+    def test_upsert_replaces_entry(self, table):
+        _, _, t = table
+        t.insert((1,), ("alice", 10))
+        t.insert((1,), ("carol", 11))  # upsert same pk
+        assert list(t.lookup_by("by_name", ("alice",))) == []
+        assert list(t.lookup_by("by_name", ("carol",))) == [("carol", 11)]
+
+    def test_backfill_existing_rows(self):
+        fs = Ext4Dax(device_size=96 << 20)
+        db = Database(fs, journal_mode="wal")
+        t = db.create_table("people")
+        for i in range(8):
+            t.insert((i,), ("dup" if i % 2 else "uniq%d" % i, i))
+        t.create_index("late", (0,))
+        assert len(list(t.lookup_by("late", ("dup",)))) == 4
+
+    def test_multi_column_index(self):
+        fs = Ext4Dax(device_size=96 << 20)
+        db = Database(fs, journal_mode="off")
+        t = db.create_table("orders")
+        t.create_index("by_region_status", (0, 1))
+        for i in range(10):
+            t.insert((i,), ("east" if i < 5 else "west", i % 2, i))
+        rows = list(t.lookup_by("by_region_status", ("east", 0)))
+        assert sorted(r[2] for r in rows) == [0, 2, 4]
+
+    def test_duplicate_index_rejected(self, table):
+        _, _, t = table
+        with pytest.raises(SchemaError):
+            t.create_index("by_name", (0,))
+
+    def test_unknown_index_rejected(self, table):
+        _, _, t = table
+        with pytest.raises(SchemaError):
+            list(t.lookup_by("ghost", ("x",)))
+
+    def test_index_survives_reopen(self, table):
+        fs, db, t = table
+        for i in range(6):
+            t.insert((i,), (f"n{i % 2}", i))
+        db.close()
+        db2 = Database(fs, journal_mode="wal")
+        t2 = db2.table("people")
+        assert "by_name" in t2.indexes
+        assert len(list(t2.lookup_by("by_name", ("n0",)))) == 3
+
+    def test_index_respects_transactions(self, table):
+        _, db, t = table
+        db.begin()
+        t.insert((1,), ("temp", 1))
+        db.rollback()
+        assert list(t.lookup_by("by_name", ("temp",))) == []
+        db.begin()
+        t.insert((1,), ("kept", 1))
+        db.commit()
+        assert list(t.lookup_by("by_name", ("kept",))) == [("kept", 1)]
+
+    def test_fuzz_index_consistency(self, table):
+        _, _, t = table
+        rng = random.Random(6)
+        model = {}
+        for step in range(400):
+            pk = rng.randrange(60)
+            action = rng.random()
+            if action < 0.6:
+                row = (f"g{rng.randrange(5)}", step)
+                t.insert((pk,), row)
+                model[pk] = row
+            elif pk in model:
+                t.delete((pk,))
+                del model[pk]
+        for group in range(5):
+            expected = sorted(v for v in model.values() if v[0] == f"g{group}")
+            got = sorted(t.lookup_by("by_name", (f"g{group}",)))
+            assert got == expected, group

@@ -1,0 +1,82 @@
+"""Row/key codecs: roundtrips and order preservation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.records import decode_row, encode_key, encode_row
+
+values = st.one_of(
+    st.none(),
+    st.integers(-(2**62), 2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=50),
+    st.binary(max_size=50),
+)
+
+
+class TestRows:
+    def test_simple_roundtrip(self):
+        row = (1, "hello", 3.5, b"\x00\xff", None)
+        assert decode_row(encode_row(row)) == row
+
+    def test_empty_row(self):
+        assert decode_row(encode_row(())) == ()
+
+    def test_bool_coerced_to_int(self):
+        assert decode_row(encode_row((True, False))) == (1, 0)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_row(([1, 2],))
+
+    @given(st.lists(values, max_size=10))
+    def test_roundtrip_property(self, row):
+        assert decode_row(encode_row(tuple(row))) == tuple(row)
+
+    def test_unicode(self):
+        row = ("héllo wörld ✓", "日本語")
+        assert decode_row(encode_row(row)) == row
+
+
+int_keys = st.lists(st.integers(-(2**62), 2**62), min_size=1, max_size=4)
+str_keys = st.lists(st.text(alphabet=st.characters(min_codepoint=1, max_codepoint=127), max_size=8), min_size=1, max_size=3)
+
+
+class TestKeys:
+    def test_deterministic(self):
+        assert encode_key((1, "a")) == encode_key((1, "a"))
+
+    def test_distinct_keys_distinct_encodings(self):
+        assert encode_key((1,)) != encode_key((2,))
+        assert encode_key(("a",)) != encode_key(("b",))
+
+    @given(int_keys, int_keys)
+    def test_int_order_preserved(self, a, b):
+        # Compare same-length prefixes so tuple order is well defined.
+        n = min(len(a), len(b))
+        a, b = tuple(a[:n]), tuple(b[:n])
+        assert (encode_key(a) < encode_key(b)) == (a < b)
+
+    @given(str_keys, str_keys)
+    def test_str_order_preserved(self, a, b):
+        n = min(len(a), len(b))
+        a, b = tuple(a[:n]), tuple(b[:n])
+        assert (encode_key(a) < encode_key(b)) == (a < b)
+
+    def test_composite_prefix_scan_bound(self):
+        """encode_key(prefix)+0xff upper-bounds every extension."""
+        prefix = encode_key((1, 5))
+        full = encode_key((1, 5, 99))
+        assert prefix <= full < prefix + b"\xff"
+        other = encode_key((1, 6))
+        assert not (prefix <= other < prefix + b"\xff")
+
+    def test_negative_ints_order(self):
+        assert encode_key((-5,)) < encode_key((0,)) < encode_key((5,))
+
+    def test_unsupported_key_part(self):
+        with pytest.raises(TypeError):
+            encode_key((3.14,))

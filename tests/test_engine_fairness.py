@@ -1,0 +1,131 @@
+"""Replay-engine scheduling details: fairness, ordering, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.nvm.timing import TimingModel
+from repro.sim.engine import ReplayEngine
+from repro.sim.trace import OpTrace
+
+
+def timing(channels=4):
+    return TimingModel(channels=channels, lock_ns=0.0)
+
+
+def trace(*segments):
+    return OpTrace(name="t", segments=list(segments))
+
+
+class TestFairness:
+    def test_fifo_wakeup_order(self):
+        """Three writers queue behind a holder; they run in arrival order."""
+        engine = ReplayEngine(timing())
+        hold = [trace(("lock", "k", "W"), ("compute", 1000.0), ("unlock", "k"))]
+        # Stagger arrivals with a compute prefix.
+        writers = [
+            [trace(("compute", float(i)), ("lock", "k", "W"), ("compute", 100.0), ("unlock", "k"))]
+            for i in (1, 2, 3)
+        ]
+        result = engine.run([hold] + writers)
+        finishes = [t.finish_ns for t in result.threads[1:]]
+        assert finishes == sorted(finishes)
+
+    def test_writer_not_starved_by_readers(self):
+        """FIFO queueing: a writer arriving between readers eventually
+        runs — later readers queue behind it rather than jumping it."""
+        engine = ReplayEngine(timing())
+        first_reader = [trace(("lock", "k", "R"), ("compute", 1000.0), ("unlock", "k"))]
+        writer = [trace(("compute", 10.0), ("lock", "k", "W"), ("compute", 10.0), ("unlock", "k"))]
+        late_readers = [
+            [trace(("compute", 50.0 + i), ("lock", "k", "R"), ("compute", 1000.0), ("unlock", "k"))]
+            for i in range(3)
+        ]
+        result = engine.run([first_reader, writer] + late_readers)
+        writer_finish = result.threads[1].finish_ns
+        # Writer completes right after the first reader (~1000), NOT
+        # after all readers (~2000+).
+        assert writer_finish < 1500.0
+
+    def test_mixed_intention_and_exclusive(self):
+        engine = ReplayEngine(timing())
+        iw_holders = [
+            [trace(("lock", "k", "IW"), ("compute", 500.0), ("unlock", "k"))]
+            for _ in range(3)
+        ]
+        exclusive = [trace(("compute", 5.0), ("lock", "k", "W"), ("compute", 10.0), ("unlock", "k"))]
+        result = engine.run(iw_holders + [exclusive])
+        # IWs overlap (finish ~500); W waits for all of them.
+        assert result.threads[3].finish_ns >= 500.0
+
+
+class TestAccounting:
+    def test_compute_and_io_tallied(self):
+        engine = ReplayEngine(timing())
+        result = engine.run([[trace(("compute", 100.0), ("io", 50.0))]])
+        assert result.threads[0].compute_ns == 100.0
+        assert result.threads[0].io_ns == 50.0
+
+    def test_ops_counted_per_thread(self):
+        engine = ReplayEngine(timing())
+        result = engine.run([[trace(("compute", 1.0)) for _ in range(7)]])
+        assert result.threads[0].ops == 7
+
+    def test_blocked_acquires_counted(self):
+        engine = ReplayEngine(timing())
+        h = [trace(("lock", "k", "W"), ("compute", 100.0), ("unlock", "k"))]
+        w = [trace(("compute", 1.0), ("lock", "k", "W"), ("unlock", "k"))]
+        result = engine.run([h, w])
+        assert result.threads[1].blocked_acquires == 1
+        assert result.threads[0].blocked_acquires == 0
+
+    def test_channel_queue_time_counted_as_wait(self):
+        engine = ReplayEngine(timing(channels=1))
+        result = engine.run([[trace(("io", 100.0))], [trace(("io", 100.0))]])
+        assert result.total_lock_wait_ns >= 100.0
+
+
+class TestEdgeCases:
+    def test_zero_duration_segments(self):
+        engine = ReplayEngine(timing())
+        result = engine.run([[trace(("compute", 0.0), ("io", 0.0))]])
+        assert result.makespan_ns == 0.0
+
+    def test_thread_with_only_locks(self):
+        engine = ReplayEngine(timing())
+        result = engine.run([[trace(("lock", "a", "R"), ("unlock", "a"))]])
+        assert result.makespan_ns >= 0.0
+
+    def test_unlock_never_acquired_raises(self):
+        engine = ReplayEngine(timing())
+        with pytest.raises(KeyError):
+            engine.run([[trace(("unlock", "ghost"))]])
+
+    def test_self_deadlock_single_thread_reentrant(self):
+        """A thread may retake a lock it holds (re-entrancy by design)."""
+        engine = ReplayEngine(timing())
+        result = engine.run(
+            [[trace(("lock", "k", "W"), ("lock", "k", "W"), ("unlock", "k"), ("unlock", "k"))]]
+        )
+        assert result.makespan_ns >= 0.0
+
+    def test_locks_held_across_op_boundaries(self):
+        """Lock in one OpTrace, unlock in the next (txn-style)."""
+        engine = ReplayEngine(timing())
+        t0 = [trace(("lock", "k", "W"), ("compute", 100.0)), trace(("unlock", "k"))]
+        t1 = [trace(("compute", 1.0), ("lock", "k", "W"), ("unlock", "k"))]
+        result = engine.run([t0, t1])
+        assert result.threads[1].blocked_acquires == 1
+
+    def test_occupancy_defaults_to_visible(self):
+        engine = ReplayEngine(timing(channels=1))
+        two = [[trace(("io", 100.0))], [trace(("io", 100.0))]]
+        assert engine.run(two).makespan_ns == 200.0
+
+    def test_large_thread_count(self):
+        engine = ReplayEngine(timing())
+        traces = [[trace(("compute", float(i)))] for i in range(200)]
+        result = engine.run(traces)
+        assert result.makespan_ns == 199.0
+        assert len(result.threads) == 200

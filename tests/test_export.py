@@ -1,0 +1,90 @@
+"""Result export / regression diff."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.export import (
+    diff_runs,
+    export_run,
+    table_to_csv,
+    table_to_dict,
+    table_to_json,
+)
+from repro.bench.harness import Table
+
+
+def sample_table(value=100.0):
+    t = Table(title="demo")
+    t.set("MGSP", "4K", value)
+    t.set("MGSP", "16K", value * 2)
+    t.set("Ext4-DAX", "4K", 50.0)
+    return t
+
+
+class TestExport:
+    def test_to_dict_parses_numbers(self):
+        d = table_to_dict(sample_table())
+        assert d["title"] == "demo"
+        assert d["rows"]["MGSP"]["4K"] == 100.0
+        assert d["columns"] == ["4K", "16K"]
+
+    def test_to_dict_keeps_strings(self):
+        t = Table(title="s")
+        t.set("a", "x", "n/a")
+        assert table_to_dict(t)["rows"]["a"]["x"] == "n/a"
+
+    def test_json_roundtrip(self):
+        d = json.loads(table_to_json(sample_table()))
+        assert d["rows"]["Ext4-DAX"]["4K"] == 50.0
+
+    def test_csv_layout(self):
+        text = table_to_csv(sample_table())
+        lines = text.strip().splitlines()
+        assert lines[0] == ",4K,16K"
+        assert lines[1].startswith("MGSP,")
+
+    def test_export_run(self):
+        blob = export_run([("fig08", sample_table())])
+        assert json.loads(blob)["fig08"]["title"] == "demo"
+
+
+class TestDiff:
+    def test_no_drift(self):
+        a = export_run([("e", sample_table())])
+        assert diff_runs(a, a) == []
+
+    def test_drift_detected(self):
+        a = export_run([("e", sample_table(100.0))])
+        b = export_run([("e", sample_table(130.0))])
+        findings = diff_runs(a, b, tolerance=0.10)
+        assert findings and "drifted" in findings[0]
+
+    def test_within_tolerance_quiet(self):
+        a = export_run([("e", sample_table(100.0))])
+        b = export_run([("e", sample_table(105.0))])
+        assert diff_runs(a, b, tolerance=0.10) == []
+
+    def test_missing_table_and_cells(self):
+        a = export_run([("e", sample_table()), ("gone", sample_table())])
+        small = sample_table()
+        small.rows["MGSP"].pop("16K")
+        b = export_run([("e", small)])
+        findings = diff_runs(a, b)
+        assert any("gone" in f for f in findings)
+        assert any("16K missing" in f for f in findings)
+
+    def test_new_table_reported(self):
+        a = export_run([("e", sample_table())])
+        b = export_run([("e", sample_table()), ("fresh", sample_table())])
+        assert any("fresh" in f for f in diff_runs(a, b))
+
+
+class TestRealExperimentExport:
+    def test_tab02_exports(self):
+        from repro.bench.figures import tab02
+
+        table = tab02(nops=40)
+        d = table_to_dict(table)
+        assert 1.5 < d["rows"]["Libnvmmio"]["4K"] < 2.5
+        assert table_to_csv(table).count("\n") >= 4

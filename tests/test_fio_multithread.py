@@ -1,0 +1,95 @@
+"""Multi-thread FIO replay properties + MGSP sharing semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.registry import make_fs
+from repro.core import MgspConfig, MgspFilesystem
+from repro.errors import FileBusy
+from repro.workloads.fio import FioJob, run_fio
+
+
+def run(fs_name, threads, bs=4096, op="write", nops_per_thread=80, **job_kw):
+    fs = make_fs(fs_name, device_size=64 << 20)
+    job = FioJob(
+        op=op, bs=bs, fsize=8 << 20, fsync=1, threads=threads,
+        nops=nops_per_thread * threads, **job_kw,
+    )
+    return run_fio(fs, job)
+
+
+class TestReplayProperties:
+    def test_deterministic(self):
+        a = run("MGSP", threads=4)
+        b = run("MGSP", threads=4)
+        assert a.elapsed_ns == b.elapsed_ns
+
+    def test_more_threads_never_slower_in_total_work_terms(self):
+        """Makespan with N threads doing N x W ops never beats the
+        single-thread time for W ops by more than N (no time travel)."""
+        single = run("MGSP", threads=1)
+        for threads in (2, 4, 8):
+            multi = run("MGSP", threads=threads)
+            speedup = multi.throughput_mb_s / single.throughput_mb_s
+            assert speedup <= threads * 1.05, (threads, speedup)
+
+    def test_file_lock_mostly_serializes(self):
+        """With MGL disabled, the file-level lock serializes the locked
+        portion of every write; only the out-of-lock work (library entry,
+        planning, fsync) overlaps — Amdahl caps 4 threads well below 2x."""
+        config = MgspConfig(degree=16, fine_grained_locking=False, greedy_locking=False)
+        fs = make_fs("MGSP", device_size=64 << 20, mgsp_config=config)
+        job = FioJob(op="write", bs=4096, fsize=8 << 20, fsync=1, threads=4, nops=200)
+        result = run_fio(fs, job)
+        fs1 = make_fs("MGSP", device_size=64 << 20, mgsp_config=config)
+        single = run_fio(fs1, FioJob(op="write", bs=4096, fsize=8 << 20, fsync=1, threads=1, nops=200))
+        assert result.throughput_mb_s < 2.0 * single.throughput_mb_s
+        assert result.lock_wait_ns > 0
+
+    def test_mgl_beats_file_lock_with_threads(self):
+        fine = run("MGSP", threads=8, bs=1024)
+        coarse_cfg = MgspConfig(degree=16, fine_grained_locking=False, greedy_locking=False)
+        fs = make_fs("MGSP", device_size=64 << 20, mgsp_config=coarse_cfg)
+        job = FioJob(op="write", bs=1024, fsize=8 << 20, fsync=1, threads=8, nops=8 * 80)
+        coarse = run_fio(fs, job)
+        assert fine.throughput_mb_s > 2 * coarse.throughput_mb_s
+
+    def test_lock_wait_reported_under_contention(self):
+        result = run("Ext4-DAX", threads=8)
+        assert result.lock_wait_ns > 0
+
+    def test_libnvmmio_bg_thread_included(self):
+        fs = make_fs("Libnvmmio", device_size=64 << 20)
+        fs.bg_pressure = 0.0001  # force background checkpoints
+        job = FioJob(op="write", bs=4096, fsize=8 << 20, fsync=0, threads=2, nops=120)
+        result = run_fio(fs, job)
+        assert result.elapsed_ns > 0
+
+    def test_threads_parameter_reflected_in_result(self):
+        result = run("NOVA", threads=4)
+        assert result.job.threads == 4
+        assert result.ops == 4 * 80
+
+
+class TestMgspSharing:
+    def test_second_open_rejected_while_open(self):
+        fs = MgspFilesystem(device_size=64 << 20)
+        f = fs.create("shared", capacity=1 << 20)
+        with pytest.raises(FileBusy):
+            fs.open("shared")
+        f.close()
+        f2 = fs.open("shared")  # fine after close
+        f2.close()
+
+    def test_threads_share_one_handle(self):
+        """The supported concurrency model: one handle, many threads."""
+        fs = MgspFilesystem(device_size=64 << 20, config=MgspConfig(degree=16))
+        f = fs.create("shared", capacity=1 << 20)
+        for thread in range(4):
+            fs.current_thread = thread
+            f.write(thread * 4096, bytes([thread + 1]) * 4096)
+        for thread in range(4):
+            assert f.read(thread * 4096, 4096) == bytes([thread + 1]) * 4096
+        for thread in range(4):
+            fs.end_thread(thread)

@@ -1,0 +1,87 @@
+"""Introspection helpers."""
+
+from __future__ import annotations
+
+from repro.core import MgspConfig, MgspFilesystem
+from repro.inspect import (
+    describe_device,
+    describe_volume,
+    dump_metalog,
+    dump_tree,
+    summarize_traces,
+)
+
+
+def make():
+    fs = MgspFilesystem(device_size=64 << 20, config=MgspConfig(degree=16))
+    handle = fs.create("probe", capacity=1 << 20)
+    return fs, handle
+
+
+class TestInspect:
+    def test_describe_device(self):
+        fs, handle = make()
+        handle.write(0, b"x" * 4096)
+        text = describe_device(fs.device)
+        assert "stores" in text and "fences" in text
+
+    def test_describe_volume(self):
+        fs, handle = make()
+        text = describe_volume(fs.volume)
+        assert "probe" in text and "log_area" in text
+
+    def test_describe_empty_volume(self):
+        fs = MgspFilesystem(device_size=64 << 20)
+        assert "(none)" in describe_volume(fs.volume)
+
+    def test_dump_tree_shows_nodes(self):
+        fs, handle = make()
+        handle.write(0, b"x" * 4096)
+        handle.write(100_000, b"y" * 200)
+        text = dump_tree(handle)
+        assert "height=" in text
+        assert "mask=" in text  # a leaf appears
+        assert "log=" in text
+
+    def test_dump_tree_truncates(self):
+        fs, handle = make()
+        for i in range(30):
+            handle.write(i * 4096, b"z" * 4096)
+        text = dump_tree(handle, max_nodes=5)
+        assert "more)" in text
+
+    def test_dump_metalog_empty(self):
+        fs, _ = make()
+        assert "empty" in dump_metalog(fs.metalog)
+
+    def test_dump_metalog_live_entry(self):
+        fs, handle = make()
+        from repro.core.metalog import MetaSlot
+
+        fs.metalog.write(2, handle.inode.id, 64, 1, 0, 4096, [MetaSlot(0, True, False, 1)])
+        text = dump_metalog(fs.metalog)
+        assert "live entries" in text and "ord=0" in text
+
+    def test_dump_metalog_txn_entries(self):
+        fs, handle = make()
+        txn = fs.begin_transaction(handle)
+        txn.write(0, b"a" * 100)
+        # Peek mid-commit by writing the entries manually via commit; easier:
+        # commit, then check the dump of an artificial txn entry.
+        txn.commit()
+        from repro.core.metalog import MetaSlot, TXN_COMMIT, TXN_MEMBER
+
+        fs.metalog.write(
+            3, handle.inode.id, 1, 2, 77, 4096, [MetaSlot(0, True, False, 1)],
+            flags=TXN_MEMBER | TXN_COMMIT,
+        )
+        assert "txn-commit" in dump_metalog(fs.metalog)
+
+    def test_summarize_traces(self):
+        fs, handle = make()
+        fs.take_traces()
+        handle.write(0, b"x" * 4096)
+        handle.fsync()
+        handle.read(0, 4096)
+        text = summarize_traces(fs.take_traces())
+        assert "write" in text and "read" in text and "fsync" in text

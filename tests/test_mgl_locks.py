@@ -1,0 +1,155 @@
+"""MglLockManager: emitted segments under each configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MgspConfig
+from repro.core.locks import MglLockManager
+from repro.nvm.timing import OptaneTiming
+from repro.sim.trace import TraceRecorder
+
+
+@pytest.fixture
+def recorder():
+    return TraceRecorder(OptaneTiming())
+
+
+def segments(recorder):
+    recorder_trace = recorder.end_op()
+    return [s for s in recorder_trace.segments if s[0] in ("lock", "unlock")]
+
+
+def manager(recorder, **cfg):
+    return MglLockManager(MgspConfig(degree=16, **cfg), recorder)
+
+
+PATH = [(2, 0), (1, 3)]
+TERMINALS = [(0, 50), (0, 51)]
+
+
+class TestFileLevelLocking:
+    def test_single_file_lock_when_fine_grained_off(self, recorder):
+        mgl = manager(recorder, fine_grained_locking=False)
+        recorder.begin_op("w")
+        keys = mgl.acquire(0, 1, PATH, TERMINALS, write=True)
+        mgl.release(keys)
+        segs = segments(recorder)
+        assert segs == [
+            ("lock", ("mgsp-file", 1), "W"),
+            ("unlock", ("mgsp-file", 1)),
+        ]
+
+    def test_read_uses_shared_mode(self, recorder):
+        mgl = manager(recorder, fine_grained_locking=False)
+        recorder.begin_op("r")
+        keys = mgl.acquire(0, 1, PATH, TERMINALS, write=False)
+        mgl.release(keys)
+        assert segments(recorder)[0][2] == "R"
+
+
+class TestGreedyLocking:
+    def test_greedy_single_lock(self, recorder):
+        mgl = manager(recorder)
+        recorder.begin_op("w")
+        keys = mgl.acquire(0, 1, PATH, TERMINALS, write=True, greedy_node=(1, 3))
+        mgl.release(keys)
+        segs = segments(recorder)
+        assert len(segs) == 2
+        assert segs[0] == ("lock", ("mgsp", 1, 1, 3), "W")
+
+    def test_greedy_disabled_by_config(self, recorder):
+        mgl = manager(recorder, greedy_locking=False)
+        recorder.begin_op("w")
+        mgl.acquire(0, 1, PATH, TERMINALS, write=True, greedy_node=(1, 3))
+        locks = [s for s in segments(recorder) if s[0] == "lock"]
+        assert len(locks) > 1  # full MGL path instead
+
+
+class TestMglPath:
+    def test_intention_locks_then_terminals(self, recorder):
+        mgl = manager(recorder, lazy_intention_locks=False)
+        recorder.begin_op("w")
+        keys = mgl.acquire(0, 1, PATH, TERMINALS, write=True)
+        mgl.release(keys)
+        locks = [s for s in segments(recorder) if s[0] == "lock"]
+        modes = [s[2] for s in locks]
+        assert modes == ["IW", "IW", "W", "W"]
+
+    def test_read_path_uses_ir_r(self, recorder):
+        mgl = manager(recorder, lazy_intention_locks=False)
+        recorder.begin_op("r")
+        mgl.acquire(0, 1, PATH, TERMINALS, write=False)
+        modes = [s[2] for s in segments(recorder) if s[0] == "lock"]
+        assert modes == ["IR", "IR", "R", "R"]
+
+    def test_terminals_locked_in_offset_order(self, recorder):
+        mgl = manager(recorder, lazy_intention_locks=False)
+        recorder.begin_op("w")
+        mgl.acquire(0, 1, [], [(0, 9), (0, 2), (0, 5)], write=True)
+        locks = [s[1] for s in segments(recorder) if s[0] == "lock"]
+        assert locks == [("mgsp", 1, 0, 2), ("mgsp", 1, 0, 5), ("mgsp", 1, 0, 9)]
+
+    def test_release_in_acquisition_order(self, recorder):
+        mgl = manager(recorder, lazy_intention_locks=False)
+        recorder.begin_op("w")
+        keys = mgl.acquire(0, 1, PATH, TERMINALS, write=True)
+        mgl.release(keys)
+        segs = segments(recorder)
+        locked = [s[1] for s in segs if s[0] == "lock"]
+        unlocked = [s[1] for s in segs if s[0] == "unlock"]
+        assert unlocked == locked
+
+
+class TestLazyIntentionLocks:
+    def test_intention_locks_retained_across_ops(self, recorder):
+        mgl = manager(recorder)
+        recorder.begin_op("w1")
+        keys = mgl.acquire(0, 1, PATH, TERMINALS, write=True)
+        mgl.release(keys)
+        first = segments(recorder)
+
+        recorder.begin_op("w2")
+        keys = mgl.acquire(0, 1, PATH, TERMINALS, write=True)
+        mgl.release(keys)
+        second = segments(recorder)
+
+        first_locks = [s for s in first if s[0] == "lock"]
+        second_locks = [s for s in second if s[0] == "lock"]
+        # First op: 2 IW + 2 W; second op re-uses the retained IWs.
+        assert len(first_locks) == 4
+        assert len(second_locks) == 2
+        assert all(s[2] == "W" for s in second_locks)
+
+    def test_retained_locks_released_by_trailer(self, recorder):
+        mgl = manager(recorder)
+        recorder.begin_op("w")
+        keys = mgl.acquire(0, 1, PATH, TERMINALS, write=True)
+        mgl.release(keys)
+        segments(recorder)
+
+        recorder.begin_op("trailer")
+        mgl.release_retained(0)
+        trailer = segments(recorder)
+        assert len([s for s in trailer if s[0] == "unlock"]) == len(PATH)
+
+    def test_balanced_lock_unlock_overall(self, recorder):
+        """Across ops + trailer, every acquire has exactly one release."""
+        mgl = manager(recorder)
+        recorder.begin_op("all")
+        for _ in range(3):
+            keys = mgl.acquire(0, 1, PATH, TERMINALS, write=True)
+            mgl.release(keys)
+        mgl.release_retained(0)
+        trace = recorder.end_op()
+        locks = [s[1] for s in trace.segments if s[0] == "lock"]
+        unlocks = [s[1] for s in trace.segments if s[0] == "unlock"]
+        assert sorted(map(str, locks)) == sorted(map(str, unlocks))
+
+    def test_threads_tracked_independently(self, recorder):
+        mgl = manager(recorder)
+        recorder.begin_op("w")
+        mgl.acquire(0, 1, PATH, [], write=True)
+        mgl.acquire(1, 1, PATH, [], write=True)
+        locks = [s for s in segments(recorder) if s[0] == "lock"]
+        assert len(locks) == 2 * len(PATH)  # each thread acquires its own

@@ -1,0 +1,158 @@
+"""Degree-64 deep trees, coarse-grained terminals, boundary geometry."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import MgspConfig, MgspFilesystem, recover
+from repro.core import bitmap
+from repro.core.verify import verify_file
+from repro.nvm.device import NvmDevice
+
+MB = 1 << 20
+
+
+def make(capacity, **cfg):
+    fs = MgspFilesystem(device_size=max(128 * MB, capacity * 4), config=MgspConfig(**cfg))
+    return fs, fs.create("deep", capacity=capacity)
+
+
+class TestDegree64Geometry:
+    def test_granularities_match_paper(self):
+        """Degree 64, 4K leaves: 4K / 256K / 16M / 1G levels."""
+        fs, f = make(32 * MB, degree=64)
+        assert f.tree.gran(0) == 4096
+        assert f.tree.gran(1) == 256 * 1024
+        assert f.tree.gran(2) == 16 * MB
+        assert f.tree.gran(3) == 1 << 30
+
+    def test_height_scales_with_size(self):
+        """The tree's height tracks the file SIZE (paper's extension),
+        not the reserved capacity."""
+        fs, f = make(32 * MB, degree=64)
+        assert f.tree.height == 1  # empty file: one 256K root suffices
+        f.write(20 * MB, b"x")  # grow past 16M
+        assert f.tree.height == 3  # needs the 1G level to cover 20M+
+        assert f.tree.covered() >= f.size
+
+    def test_256k_write_commits_one_node(self):
+        fs, f = make(32 * MB, degree=64)
+        f.write(32 * MB - 4096, b"grow")  # raise the height first
+        f.write(0, b"c" * 256 * 1024)
+        l1 = f.tree.peek(1, 0)
+        assert l1 is not None
+        assert bitmap.unpack_nonleaf(l1.word).valid  # one coarse log
+        assert l1.log_off != 0
+        assert f.read(0, 10) == b"c" * 10
+
+    def test_256k_write_on_empty_file_is_root_terminal(self):
+        """With nothing written yet the root covers exactly 256K, so the
+        write goes straight into the file (the root's 'log')."""
+        fs, f = make(32 * MB, degree=64)
+        f.write(0, b"c" * 256 * 1024)
+        root_word = f.tree.root.word
+        bits = bitmap.unpack_nonleaf(root_word)
+        assert not bits.valid and not bits.existing  # committed at root
+        assert f.read(0, 10) == b"c" * 10
+
+    def test_1m_write_uses_four_coarse_nodes(self):
+        fs, f = make(32 * MB, degree=64)
+        f.write(0, b"m" * MB)
+        for idx in range(4):
+            node = f.tree.peek(1, idx)
+            assert node is not None and bitmap.unpack_nonleaf(node.word).valid
+        assert f.read(MB - 5, 5) == b"m" * 5
+
+    def test_unaligned_multi_level_write(self):
+        fs, f = make(32 * MB, degree=64)
+        payload = bytes(range(256)) * 2048  # 512K
+        f.write(100_000, payload)
+        assert f.read(100_000, len(payload)) == payload
+        assert verify_file(f).ok
+
+    def test_write_spanning_16m_boundary(self):
+        fs, f = make(32 * MB, degree=64)
+        off = 16 * MB - 8192
+        f.write(off, b"span" * 4096)  # 16K across the L2 boundary
+        assert f.read(off, 16384) == b"span" * 4096
+
+    def test_fine_then_coarse_then_fine(self):
+        fs, f = make(32 * MB, degree=64)
+        f.write(1000, b"fine-1")
+        f.write(0, b"C" * 256 * 1024)  # coarse overwrite (invalidates leaf)
+        assert f.read(1000, 6) == b"CCCCCC"
+        f.write(1000, b"fine-2")
+        assert f.read(1000, 6) == b"fine-2"
+        assert f.read(990, 10) == b"C" * 10
+        assert verify_file(f).ok
+
+    def test_repeat_coarse_writes_role_switch(self):
+        """256K writes to the same node alternate log <-> file."""
+        fs, f = make(32 * MB, degree=64)
+        f.write(32 * MB - 4096, b"grow")  # ensure L1 is below the root
+        f.write(0, b"1" * 256 * 1024)
+        node = f.tree.peek(1, 0)
+        assert bitmap.unpack_nonleaf(node.word).valid
+        f.write(0, b"2" * 256 * 1024)
+        assert not bitmap.unpack_nonleaf(node.word).valid
+        f.write(0, b"3" * 256 * 1024)
+        assert bitmap.unpack_nonleaf(node.word).valid
+        assert f.read(0, 4) == b"3333"
+
+    def test_fuzz_deep_tree(self):
+        fs, f = make(32 * MB, degree=64)
+        rng = random.Random(8)
+        ref = {}
+        for i in range(120):
+            off = rng.randrange(0, 32 * MB - MB)
+            ln = rng.choice([64, 4096, 256 * 1024, 700_000])
+            tag = bytes([rng.randrange(1, 255)])
+            f.write(off, tag * ln)
+            ref[i] = (off, ln, tag)
+            probe_off, probe_ln, probe_tag = ref[rng.randrange(len(ref))]
+            # Only check probes not overwritten since (cheap filter).
+        # Final spot checks against a replayed model on 1 MB windows.
+        model = bytearray(32 * MB)
+        for off, ln, tag in ref.values():
+            model[off : off + ln] = tag * ln
+        for start in range(0, 32 * MB, 7 * MB):
+            assert f.read(start, 4096) == bytes(model[start : start + 4096])
+        assert verify_file(f).ok
+
+    def test_crash_recovery_with_coarse_commits(self):
+        fs, f = make(32 * MB, degree=64)
+        fs.device.drain()
+        f.write(0, b"A" * 256 * 1024)
+        f.write(0, b"B" * 256 * 1024)  # undo-style: straight into file
+        image = fs.device.crash_image(rng=random.Random(4))
+        fs2, _ = recover(NvmDevice.from_image(bytes(image)), config=MgspConfig(degree=64))
+        assert fs2.open("deep").read(0, 256 * 1024) == b"B" * 256 * 1024
+
+
+class TestSmallDegrees:
+    @pytest.mark.parametrize("degree", [4, 8, 16])
+    def test_read_your_writes(self, degree):
+        fs, f = make(4 * MB, degree=degree, leaf_valid_bits=8)
+        rng = random.Random(degree)
+        ref = bytearray(4 * MB)
+        for _ in range(100):
+            off = rng.randrange(0, 4 * MB - 1)
+            ln = min(rng.choice([32, 512, 4096, 70_000]), 4 * MB - off)
+            payload = bytes([rng.randrange(1, 255)]) * ln
+            f.write(off, payload)
+            ref[off : off + ln] = payload
+        assert f.read(0, f.size) == bytes(ref[: f.size])
+        assert verify_file(f).ok
+
+
+class TestGenerationPressure:
+    def test_many_commits_on_one_leaf(self):
+        """Thousands of commits to one spot: generations stay ordered."""
+        fs, f = make(MB, degree=16)
+        for i in range(2000):
+            f.write(0, bytes([i % 255 + 1]) * 128)
+        assert f.read(0, 128) == bytes([1999 % 255 + 1]) * 128
+        assert f.tree.gen == 2000
+        assert verify_file(f).ok

@@ -1,0 +1,119 @@
+"""Lock emission on the MGSP READ path (greedy gating, IR/R modes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MgspConfig, MgspFilesystem
+
+CAP = 1 << 20
+
+
+def make_fs(**cfg):
+    params = {"degree": 16}
+    params.update(cfg)
+    return MgspFilesystem(device_size=64 << 20, config=MgspConfig(**params))
+
+
+def lock_events(fs):
+    events = []
+    for trace in fs.take_traces():
+        for seg in trace.segments:
+            if seg[0] in ("lock", "unlock"):
+                events.append(seg)
+    return events
+
+
+class TestReadLocks:
+    def test_single_handle_reads_use_greedy_lock(self):
+        fs = make_fs()
+        f = fs.create("x", CAP)
+        f.write(0, b"data" * 1024)
+        fs.take_traces()
+        f.read(0, 4096)
+        events = lock_events(fs)
+        locks = [e for e in events if e[0] == "lock"]
+        assert len(locks) == 1  # one greedy lock, single reference
+        assert locks[0][2] == "R"
+
+    def test_greedy_disabled_uses_mgl_path(self):
+        fs = make_fs(greedy_locking=False, lazy_intention_locks=False)
+        f = fs.create("x", CAP)
+        f.write(0, b"data" * 1024)
+        fs.take_traces()
+        f.read(0, 4096)
+        locks = [e for e in lock_events(fs) if e[0] == "lock"]
+        modes = [e[2] for e in locks]
+        assert modes.count("IR") >= 1  # intention locks down the path
+        assert modes[-1] == "R"
+
+    def test_write_locks_use_w_modes(self):
+        fs = make_fs(greedy_locking=False, lazy_intention_locks=False)
+        f = fs.create("x", CAP)
+        fs.take_traces()
+        f.write(0, b"w" * 4096)
+        locks = [e for e in lock_events(fs) if e[0] == "lock"]
+        modes = [e[2] for e in locks]
+        assert set(modes) <= {"IW", "W"}
+        assert "W" in modes
+
+    def test_lock_unlock_balanced_per_op(self):
+        fs = make_fs(greedy_locking=False, lazy_intention_locks=False)
+        f = fs.create("x", CAP)
+        fs.take_traces()
+        f.write(0, b"w" * 4096)
+        f.read(0, 4096)
+        events = lock_events(fs)
+        assert len([e for e in events if e[0] == "lock"]) == len(
+            [e for e in events if e[0] == "unlock"]
+        )
+
+    def test_file_lock_mode_for_reads(self):
+        fs = make_fs(fine_grained_locking=False)
+        f = fs.create("x", CAP)
+        f.write(0, b"x" * 200)
+        fs.take_traces()
+        f.read(0, 100)
+        locks = [e for e in lock_events(fs) if e[0] == "lock"]
+        assert locks == [("lock", ("mgsp-file", f.inode.id), "R")]
+
+    def test_empty_read_takes_no_locks(self):
+        fs = make_fs(fine_grained_locking=False)
+        f = fs.create("x", CAP)
+        fs.take_traces()
+        f.read(0, 100)  # size 0: clipped to nothing
+        assert lock_events(fs) == []
+
+
+class TestReplayConservation:
+    """Structural properties any correct replay must satisfy."""
+
+    def test_makespan_at_least_busiest_thread(self):
+        from repro.nvm.timing import TimingModel
+        from repro.sim.engine import ReplayEngine
+        from repro.sim.trace import OpTrace
+
+        engine = ReplayEngine(TimingModel(channels=4, lock_ns=0.0))
+        traces = [
+            [OpTrace(segments=[("compute", 100.0 * (t + 1)), ("io", 40.0)])]
+            for t in range(4)
+        ]
+        result = engine.run(traces)
+        busiest = max(t.compute_ns + t.io_ns for t in result.threads)
+        assert result.makespan_ns >= busiest
+
+    def test_serial_equals_sum(self):
+        from repro.nvm.timing import TimingModel
+        from repro.sim.engine import ReplayEngine
+        from repro.sim.trace import OpTrace
+
+        engine = ReplayEngine(TimingModel(channels=4, lock_ns=0.0))
+        serial = [
+            [
+                OpTrace(segments=[("lock", "g", "W"), ("compute", 100.0), ("unlock", "g")])
+                for _ in range(3)
+            ]
+            for _ in range(2)
+        ]
+        result = engine.run(serial)
+        assert result.makespan_ns >= 600.0  # fully serialized compute

@@ -1,0 +1,65 @@
+"""The demo shell's command surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shell import Shell
+
+
+@pytest.fixture
+def shell():
+    return Shell(device_size=64 << 20, seed=1)
+
+
+class TestCommands:
+    def test_write_read(self, shell):
+        assert "wrote" in shell.execute("write notes 0 hello")
+        assert shell.execute("read notes 0 5") == "hello"
+
+    def test_fill(self, shell):
+        shell.execute("fill big 0 64k z")
+        assert shell.execute("read big 0 4") == "zzzz"
+
+    def test_txn(self, shell):
+        out = shell.execute("txn acct 0=debit 4k=credit")
+        assert "committed 2 writes" in out
+        assert shell.execute("read acct 0 5") == "debit"
+        assert shell.execute("read acct 4k 6") == "credit"
+
+    def test_crash_recovers_state(self, shell):
+        shell.execute("write notes 0 survivor")
+        out = shell.execute("crash 0.5")
+        assert "power loss" in out
+        assert shell.execute("read notes 0 8") == "survivor"
+
+    def test_checkpoint(self, shell):
+        shell.execute("fill f 0 64k q")
+        assert "written back" in shell.execute("checkpoint f")
+
+    def test_inspections(self, shell):
+        shell.execute("write notes 0 x")
+        assert "height=" in shell.execute("tree notes")
+        assert "metadata log" in shell.execute("metalog")
+        assert "volume layout" in shell.execute("volume")
+        assert "stores" in shell.execute("device")
+        assert "stores=" in shell.execute("stats")
+
+    def test_verify(self, shell):
+        shell.execute("fill f 0 16k a")
+        assert shell.execute("verify f").startswith("OK")
+
+    def test_help_and_unknown(self, shell):
+        assert "commands:" in shell.execute("help")
+        assert "unknown command" in shell.execute("frobnicate")
+        assert shell.execute("") == ""
+
+    def test_usage_error_handled(self, shell):
+        assert "usage error" in shell.execute("write onlyname")
+
+    def test_fs_error_handled(self, shell):
+        assert "error:" in shell.execute("write f 100g boom")
+
+    def test_quit(self, shell):
+        assert shell.execute("quit") is None
+        assert shell.execute("exit") is None

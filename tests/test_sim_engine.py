@@ -1,0 +1,173 @@
+"""Replay engine: virtual locks, channels, contention, deadlock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.nvm.timing import TimingModel
+from repro.sim.engine import ReplayEngine
+from repro.sim.locks import COMPATIBLE, LockMode, LockTable, VirtualLock, compatible
+from repro.sim.trace import OpTrace
+
+
+def timing(channels=4, lock_ns=0.0):
+    return TimingModel(channels=channels, lock_ns=lock_ns)
+
+
+def trace(*segments):
+    return OpTrace(name="t", segments=list(segments))
+
+
+class TestLockCompatibility:
+    def test_table_i_of_the_paper(self):
+        # Rows: requested; columns: held.
+        expect = {
+            ("IR", "IR"): True, ("IR", "IW"): True, ("IR", "R"): True, ("IR", "W"): False,
+            ("IW", "IR"): True, ("IW", "IW"): True, ("IW", "R"): False, ("IW", "W"): False,
+            ("R", "IR"): True, ("R", "IW"): False, ("R", "R"): True, ("R", "W"): False,
+            ("W", "IR"): False, ("W", "IW"): False, ("W", "R"): False, ("W", "W"): False,
+        }
+        for (req, held), ok in expect.items():
+            assert compatible(req, held) is ok, (req, held)
+
+    def test_symmetry_where_expected(self):
+        # The MGL table is symmetric.
+        for a in LockMode.ALL:
+            for b in LockMode.ALL:
+                assert compatible(a, b) == compatible(b, a)
+
+    def test_self_reentrancy(self):
+        lock = VirtualLock("k")
+        lock.grant(1, LockMode.W)
+        assert lock.can_grant(1, LockMode.W)  # same thread
+        assert not lock.can_grant(2, LockMode.W)
+
+    def test_release_most_recent_grant(self):
+        lock = VirtualLock("k")
+        lock.grant(1, LockMode.IW)
+        lock.grant(1, LockMode.W)
+        lock.release(1)
+        assert lock.holders == [(1, LockMode.IW)]
+
+    def test_release_unheld_raises(self):
+        lock = VirtualLock("k")
+        with pytest.raises(KeyError):
+            lock.release(1)
+
+    def test_fifo_waiters(self):
+        lock = VirtualLock("k")
+        lock.grant(0, LockMode.W)
+        lock.waiters.append((1, LockMode.R))
+        lock.waiters.append((2, LockMode.R))
+        lock.release(0)
+        granted = lock.grantable_waiters()
+        assert [tid for tid, _ in granted] == [1, 2]
+
+    def test_waiter_prefix_stops_at_conflict(self):
+        lock = VirtualLock("k")
+        lock.waiters.append((1, LockMode.R))
+        lock.waiters.append((2, LockMode.W))
+        lock.waiters.append((3, LockMode.R))
+        granted = lock.grantable_waiters()
+        assert [tid for tid, _ in granted] == [1]  # W blocks; 3 must wait
+
+    def test_lock_table_creates_on_demand(self):
+        table = LockTable()
+        a = table.get("x")
+        assert table.get("x") is a
+        assert len(table) == 1
+
+
+class TestReplayBasics:
+    def test_single_thread_sums_segments(self):
+        engine = ReplayEngine(timing())
+        result = engine.run([[trace(("compute", 100.0), ("io", 50.0))]])
+        assert result.makespan_ns == 150.0
+
+    def test_independent_threads_run_in_parallel(self):
+        engine = ReplayEngine(timing())
+        traces = [[trace(("compute", 1000.0))] for _ in range(4)]
+        result = engine.run(traces)
+        assert result.makespan_ns == 1000.0
+
+    def test_exclusive_lock_serializes(self):
+        engine = ReplayEngine(timing())
+        per_thread = [
+            [trace(("lock", "k", "W"), ("compute", 1000.0), ("unlock", "k"))]
+            for _ in range(3)
+        ]
+        result = engine.run(per_thread)
+        assert result.makespan_ns >= 3000.0
+
+    def test_read_locks_do_not_serialize(self):
+        engine = ReplayEngine(timing())
+        per_thread = [
+            [trace(("lock", "k", "R"), ("compute", 1000.0), ("unlock", "k"))]
+            for _ in range(3)
+        ]
+        result = engine.run(per_thread)
+        assert result.makespan_ns < 1500.0
+
+    def test_intention_locks_compatible(self):
+        engine = ReplayEngine(timing())
+        per_thread = [
+            [trace(("lock", "k", "IW"), ("compute", 1000.0), ("unlock", "k"))]
+            for _ in range(4)
+        ]
+        result = engine.run(per_thread)
+        assert result.makespan_ns < 1500.0
+
+    def test_w_blocks_behind_iw(self):
+        engine = ReplayEngine(timing())
+        holder = [trace(("lock", "k", "IW"), ("compute", 500.0), ("unlock", "k"))]
+        writer = [trace(("lock", "k", "W"), ("compute", 100.0), ("unlock", "k"))]
+        result = engine.run([holder, writer])
+        assert result.makespan_ns >= 600.0
+        assert result.threads[1].blocked_acquires == 1
+
+    def test_channels_limit_io_parallelism(self):
+        engine = ReplayEngine(timing(channels=1))
+        per_thread = [[trace(("io", 1000.0))] for _ in range(4)]
+        result = engine.run(per_thread)
+        assert result.makespan_ns == 4000.0
+
+    def test_many_channels_allow_io_parallelism(self):
+        engine = ReplayEngine(timing(channels=8))
+        per_thread = [[trace(("io", 1000.0))] for _ in range(4)]
+        result = engine.run(per_thread)
+        assert result.makespan_ns == 1000.0
+
+    def test_channel_occupancy_exceeds_visible_latency(self):
+        # With occupancy 4x visible, one channel saturates at 1/occupancy.
+        engine = ReplayEngine(timing(channels=1))
+        per_thread = [[trace(("io", 100.0, 400.0)) for _ in range(4)]]
+        result = engine.run(per_thread)
+        # Thread sees 100ns per io, but the channel frees every 400ns.
+        assert result.makespan_ns >= 3 * 400.0 + 100.0
+
+    def test_deadlock_detected(self):
+        engine = ReplayEngine(timing())
+        # Thread 0 takes A then B; thread 1 takes B then A; no unlocks in
+        # between -> classic deadlock.
+        t0 = [trace(("lock", "A", "W"), ("compute", 10.0), ("lock", "B", "W"))]
+        t1 = [trace(("lock", "B", "W"), ("compute", 10.0), ("lock", "A", "W"))]
+        with pytest.raises(SimulationError):
+            engine.run([t0, t1])
+
+    def test_lock_wait_accounted(self):
+        engine = ReplayEngine(timing())
+        t0 = [trace(("lock", "k", "W"), ("compute", 1000.0), ("unlock", "k"))]
+        t1 = [trace(("lock", "k", "W"), ("compute", 10.0), ("unlock", "k"))]
+        result = engine.run([t0, t1])
+        assert result.total_lock_wait_ns >= 900.0
+
+    def test_throughput_helper(self):
+        engine = ReplayEngine(timing())
+        result = engine.run([[trace(("compute", 1e9))]])  # one second
+        assert result.throughput_bytes_per_sec(1 << 20) == pytest.approx(1 << 20)
+
+    def test_empty_run(self):
+        engine = ReplayEngine(timing())
+        assert engine.run([]).makespan_ns == 0.0
+        assert engine.run([[], []]).makespan_ns == 0.0

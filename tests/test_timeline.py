@@ -1,0 +1,77 @@
+"""Replay timeline recording + ASCII rendering."""
+
+from __future__ import annotations
+
+from repro.inspect import render_timeline
+from repro.nvm.timing import TimingModel
+from repro.sim.engine import ReplayEngine
+from repro.sim.trace import OpTrace
+
+
+def trace(*segments):
+    return OpTrace(segments=list(segments))
+
+
+def engine(channels=2):
+    return ReplayEngine(TimingModel(channels=channels, lock_ns=0.0))
+
+
+class TestTimelineRecording:
+    def test_off_by_default(self):
+        result = engine().run([[trace(("compute", 10.0))]])
+        assert result.timeline == []
+
+    def test_compute_and_io_events(self):
+        result = engine().run(
+            [[trace(("compute", 100.0), ("io", 50.0))]], record_timeline=True
+        )
+        kinds = [e[3] for e in result.timeline]
+        assert kinds == ["compute", "io"]
+        (c, i) = result.timeline
+        assert c[1:3] == (0.0, 100.0)
+        assert i[1:3] == (100.0, 150.0)
+
+    def test_lock_wait_recorded(self):
+        holder = [trace(("lock", "k", "W"), ("compute", 500.0), ("unlock", "k"))]
+        waiter = [trace(("compute", 10.0), ("lock", "k", "W"), ("unlock", "k"))]
+        result = engine().run([holder, waiter], record_timeline=True)
+        waits = [e for e in result.timeline if e[3] == "wait" and e[0] == 1]
+        assert waits and waits[0][2] - waits[0][1] >= 400.0
+
+    def test_channel_wait_recorded(self):
+        result = engine(channels=1).run(
+            [[trace(("io", 100.0))], [trace(("io", 100.0))]], record_timeline=True
+        )
+        waits = [e for e in result.timeline if e[3] == "wait"]
+        assert waits
+
+    def test_events_within_makespan(self):
+        traces = [[trace(("compute", 30.0), ("io", 20.0))] for _ in range(3)]
+        result = engine().run(traces, record_timeline=True)
+        for _tid, start, end, _kind in result.timeline:
+            assert 0 <= start <= end <= result.makespan_ns
+
+
+class TestRendering:
+    def test_render_basic(self):
+        result = engine().run(
+            [[trace(("compute", 100.0), ("io", 100.0))]], record_timeline=True
+        )
+        art = render_timeline(result, width=40)
+        assert "t0" in art and "=" in art and "#" in art
+
+    def test_render_without_timeline(self):
+        result = engine().run([[trace(("compute", 10.0))]])
+        assert "record_timeline" in render_timeline(result)
+
+    def test_render_multi_thread_rows(self):
+        traces = [[trace(("compute", 50.0))] for _ in range(4)]
+        result = engine().run(traces, record_timeline=True)
+        art = render_timeline(result, width=30)
+        assert art.count("|") == 8  # 4 rows, two bars each
+
+    def test_contention_shows_wait_glyphs(self):
+        holder = [trace(("lock", "k", "W"), ("compute", 900.0), ("unlock", "k"))]
+        waiter = [trace(("compute", 10.0), ("lock", "k", "W"), ("compute", 50.0), ("unlock", "k"))]
+        result = engine().run([holder, waiter], record_timeline=True)
+        assert "." in render_timeline(result, width=50)

@@ -1,0 +1,101 @@
+"""Unit-level checks of plan_txn_write (the durable-shadowed targeting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MgspConfig, MgspFilesystem
+from repro.core import bitmap
+
+CAP = 512 * 1024
+
+
+@pytest.fixture
+def setup():
+    fs = MgspFilesystem(device_size=64 << 20, config=MgspConfig(degree=16))
+    f = fs.create("t", capacity=CAP)
+    return fs, f
+
+
+def plan_txn(f, offset, data, durable=None):
+    durable_map = durable or {}
+
+    def durable_word(node):
+        return durable_map.get((node.level, node.index), node.word)
+
+    return f.shadow.plan_txn_write(offset, data, f.tree.next_gen(), durable_word)
+
+
+class TestTargets:
+    def test_fresh_leaf_targets_own_log(self, setup):
+        fs, f = setup
+        plan = plan_txn(f, 0, b"x" * 4096)
+        leaf = f.tree.peek(0, 0)
+        assert plan.data_writes[0][0] == leaf.log_off
+
+    def test_durable_valid_leaf_targets_ancestor(self, setup):
+        fs, f = setup
+        f.write(0, b"committed" * 455)  # 4095B -> leaf log valid
+        plan = plan_txn(f, 0, b"y" * 4096)
+        # Durable bits say "leaf log holds latest" -> safe target = file.
+        assert plan.data_writes[0][0] == f.inode.base
+
+    def test_repeat_target_is_stable(self, setup):
+        """Unlike plain writes (which alternate), txn writes keep hitting
+        the same durable-shadowed slot."""
+        fs, f = setup
+        txn = fs.begin_transaction(f)
+        txn.write(0, b"1" * 4096)
+        leaf = f.tree.peek(0, 0)
+        first_target = leaf.log_off
+        durable = {(0, 0): txn._durable_word(leaf)}
+        plan2 = plan_txn(f, 0, b"2" * 4096, durable)
+        assert plan2.data_writes[0][0] == first_target
+        txn.rollback()
+
+    def test_leaf_only_decomposition(self, setup):
+        fs, f = setup
+        f.write(CAP - 4096, b"grow")  # raise the height
+        plan = plan_txn(f, 0, b"z" * (4096 * 16))  # one full L1 range
+        # Plain writes would coarse-commit at L1; txn plans leaves only.
+        assert all(node.level == 0 for node, _, __ in plan.commits)
+        assert len(plan.commits) == 16
+
+    def test_staged_mask_is_opposite_of_durable(self, setup):
+        fs, f = setup
+        txn = fs.begin_transaction(f)
+        txn.write(0, b"a" * 128)  # durable bit 0 -> staged 1
+        leaf = f.tree.peek(0, 0)
+        assert bitmap.unpack_leaf(leaf.word).mask & 1 == 1
+        txn.rollback()
+
+        f.write(0, b"b" * 128)  # commit: durable bit now 1
+        txn2 = fs.begin_transaction(f)
+        txn2.write(0, b"c" * 128)  # durable bit 1 -> staged 0
+        assert bitmap.unpack_leaf(leaf.word).mask & 1 == 0
+        txn2.rollback()
+        assert bitmap.unpack_leaf(leaf.word).mask & 1 == 1  # restored
+
+    def test_rmw_fill_uses_txn_data_for_rewritten_blocks(self, setup):
+        fs, f = setup
+        txn = fs.begin_transaction(f)
+        txn.write(0, b"A" * 128)
+        txn.write(64, b"B" * 32)  # partial overwrite of the same sub-block
+        assert txn.read(0, 128) == b"A" * 64 + b"B" * 32 + b"A" * 32
+        txn.commit()
+        assert f.read(0, 128) == b"A" * 64 + b"B" * 32 + b"A" * 32
+
+    def test_path_existing_bits_refreshed(self, setup):
+        fs, f = setup
+        plan = plan_txn(f, 0, b"x" * 100)
+        assert plan.refreshes  # root (at least) gets its existing bit
+        node, word = plan.refreshes[0]
+        assert bitmap.unpack_nonleaf(word).existing
+
+    def test_commit_slots_carry_final_mask(self, setup):
+        fs, f = setup
+        plan = plan_txn(f, 0, b"x" * 256)  # sub-blocks 0 and 1
+        _, word, slot = plan.commits[0]
+        assert slot.is_leaf
+        assert slot.leaf_mask == 0b11
+        assert bitmap.unpack_leaf(word).mask == 0b11

@@ -1,0 +1,124 @@
+"""The MGSP state verifier (fsck) itself."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import MgspConfig, MgspFilesystem
+from repro.core import bitmap
+from repro.core.verify import verify_file
+from repro.errors import FsError
+
+CAP = 512 * 1024
+
+
+@pytest.fixture
+def handle():
+    fs = MgspFilesystem(device_size=64 << 20, config=MgspConfig(degree=16))
+    return fs.create("v", capacity=CAP)
+
+
+class TestCleanStates:
+    def test_fresh_file_verifies(self, handle):
+        assert verify_file(handle).ok
+
+    def test_after_simple_writes(self, handle):
+        handle.write(0, b"a" * 5000)
+        handle.write(100_000, b"b" * 123)
+        report = verify_file(handle)
+        assert report.ok, report.errors
+        assert report.valid_logs >= 1
+        assert report.fresh_bytes > 0
+
+    def test_after_fuzz_workload(self, handle):
+        rng = random.Random(3)
+        for _ in range(200):
+            off = rng.randrange(0, CAP - 1)
+            ln = min(rng.choice([1, 128, 4096, 30_000, 70_000]), CAP - off)
+            handle.write(off, bytes([rng.randrange(1, 255)]) * ln)
+        report = verify_file(handle)
+        assert report.ok, report.errors
+        assert report.nodes_checked > 10
+
+    def test_after_close_everything_clean(self, handle):
+        handle.write(0, b"x" * 10_000)
+        fs = handle.fs
+        handle.close()
+        reopened = fs.open("v")
+        report = verify_file(reopened)
+        assert report.ok
+        assert report.valid_logs == 0
+        assert report.fresh_bytes == 0
+
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            {},
+            {"multi_granularity": False},
+            {"fine_grained_logging": False},
+            {"shadow_logging": False},
+        ],
+    )
+    def test_all_configs_verify(self, cfg):
+        fs = MgspFilesystem(device_size=64 << 20, config=MgspConfig(degree=16, **cfg))
+        f = fs.create("v", capacity=CAP)
+        rng = random.Random(5)
+        for _ in range(80):
+            off = rng.randrange(0, CAP - 1)
+            ln = min(rng.choice([64, 4096, 20_000]), CAP - off)
+            f.write(off, b"q" * ln)
+        assert verify_file(f).ok
+
+
+class TestCorruptionDetection:
+    def test_detects_missing_log_block(self, handle):
+        handle.write(0, b"x" * 4096)
+        leaf = handle.tree.peek(0, 0)
+        leaf.log_off = 0  # sever the log pointer behind MGSP's back
+        report = verify_file(handle)
+        assert not report.ok
+        assert any("no log block" in e for e in report.errors)
+
+    def test_detects_cleared_existing_bit(self, handle):
+        handle.write(0, b"x" * 4096)
+        root = handle.tree.root
+        bits = bitmap.unpack_nonleaf(root.word)
+        handle.tree.store_word(
+            root,
+            bitmap.pack_nonleaf(bits.valid, False, bits.sub_gen, bits.own_gen),
+        )
+        report = verify_file(handle)
+        assert not report.ok
+        assert any("unreachable" in e for e in report.errors)
+
+    def test_detects_unaligned_log(self, handle):
+        handle.write(0, b"x" * 4096)
+        leaf = handle.tree.peek(0, 0)
+        leaf.log_off += 8
+        report = verify_file(handle)
+        assert not report.ok
+
+    def test_detects_log_outside_area(self, handle):
+        handle.write(0, b"x" * 4096)
+        leaf = handle.tree.peek(0, 0)
+        leaf.log_off = 4096  # superblock territory
+        report = verify_file(handle)
+        assert not report.ok
+
+    def test_raise_on_error(self, handle):
+        handle.write(0, b"x" * 4096)
+        handle.tree.peek(0, 0).log_off = 0
+        with pytest.raises(FsError):
+            verify_file(handle, raise_on_error=True)
+
+    def test_detects_live_metalog_entry(self, handle):
+        handle.write(0, b"x" * 4096)
+        fs = handle.fs
+        from repro.core.metalog import MetaSlot
+
+        fs.metalog.write(5, handle.inode.id, 64, 1, 0, 4096, [MetaSlot(0, True, False, 1)])
+        report = verify_file(handle)
+        assert not report.ok
+        assert any("metadata-log" in e for e in report.errors)

@@ -1,0 +1,180 @@
+"""Workload generators: FIO runner, Mobibench, TPC-C."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.registry import make_fs
+from repro.db import Database
+from repro.workloads.fio import FioJob, run_fio, _offsets
+from repro.workloads.mobibench import run_mobibench
+from repro.workloads.tpcc import DISTRICTS, TpccDriver, run_tpcc
+
+
+class TestFioJob:
+    def test_kind_parsing(self):
+        assert FioJob(op="randwrite").kind == "write"
+        assert FioJob(op="randwrite").is_random
+        assert FioJob(op="read").kind == "read"
+        assert not FioJob(op="write").is_random
+        assert FioJob(op="randrw").kind == "rw"
+
+    def test_sequential_offsets_wrap_and_align(self):
+        job = FioJob(op="write", bs=4096, fsize=64 * 4096)
+        offs = _offsets(job, thread=0, per_thread_ops=100)
+        assert all(o % 4096 == 0 for o in offs)
+        assert all(0 <= o < job.fsize for o in offs)
+        assert offs[1] - offs[0] == 4096
+
+    def test_random_offsets_aligned_and_seeded(self):
+        job = FioJob(op="randwrite", bs=4096, fsize=1 << 20, seed=5)
+        a = _offsets(job, 0, 50)
+        b = _offsets(job, 0, 50)
+        assert a == b  # deterministic
+        assert a != _offsets(job, 1, 50)  # thread-distinct
+        assert all(o % 4096 == 0 for o in a)
+
+    def test_sequential_threads_stride_disjoint_starts(self):
+        job = FioJob(op="write", bs=4096, fsize=1 << 20, threads=4)
+        starts = [_offsets(job, t, 1)[0] for t in range(4)]
+        assert len(set(starts)) == 4
+
+
+class TestRunFio:
+    def test_single_thread_result(self):
+        fs = make_fs("MGSP", device_size=64 << 20)
+        job = FioJob(op="write", bs=4096, fsize=4 << 20, fsync=1, nops=50)
+        result = run_fio(fs, job)
+        assert result.ops == 50
+        assert result.total_bytes == 50 * 4096
+        assert result.throughput_mb_s > 0
+        assert result.iops > 0
+        assert 0.9 < result.write_amplification < 1.5
+
+    def test_read_job_uses_prefilled_data(self):
+        fs = make_fs("Ext4-DAX", device_size=64 << 20)
+        job = FioJob(op="read", bs=4096, fsize=4 << 20, nops=30)
+        result = run_fio(fs, job)
+        assert result.total_bytes == 30 * 4096
+        assert result.write_amplification == 0.0
+
+    def test_mixed_job(self):
+        fs = make_fs("MGSP", device_size=64 << 20)
+        job = FioJob(op="randrw", bs=4096, fsize=4 << 20, write_ratio=0.5, nops=60)
+        result = run_fio(fs, job)
+        assert result.total_bytes == 60 * 4096
+
+    def test_multithread_replay(self):
+        fs = make_fs("MGSP", device_size=64 << 20)
+        job = FioJob(op="write", bs=4096, fsize=4 << 20, fsync=1, threads=4, nops=80)
+        result = run_fio(fs, job)
+        assert result.ops == 80
+        assert result.elapsed_ns > 0
+
+    def test_scaling_beats_single_thread(self):
+        single = run_fio(
+            make_fs("MGSP", device_size=64 << 20),
+            FioJob(op="write", bs=1024, fsize=4 << 20, fsync=1, threads=1, nops=100),
+        )
+        multi = run_fio(
+            make_fs("MGSP", device_size=64 << 20),
+            FioJob(op="write", bs=1024, fsize=4 << 20, fsync=1, threads=4, nops=400),
+        )
+        assert multi.throughput_mb_s > 1.5 * single.throughput_mb_s
+
+    def test_fsync_interval_affects_throughput(self):
+        never = run_fio(
+            make_fs("Libnvmmio", device_size=64 << 20),
+            FioJob(op="write", bs=4096, fsize=4 << 20, fsync=0, nops=100),
+        )
+        every = run_fio(
+            make_fs("Libnvmmio", device_size=64 << 20),
+            FioJob(op="write", bs=4096, fsize=4 << 20, fsync=1, nops=100),
+        )
+        assert never.throughput_mb_s > 2 * every.throughput_mb_s
+
+    def test_mst_hit_rate_reported_for_mgsp(self):
+        fs = make_fs("MGSP", device_size=64 << 20)
+        result = run_fio(fs, FioJob(op="write", bs=4096, fsize=4 << 20, nops=50))
+        assert result.mst_hit_rate > 0.5  # sequential job
+
+
+class TestMobibench:
+    @pytest.mark.parametrize("mode", ["insert", "update", "delete"])
+    def test_modes_run(self, mode):
+        fs = make_fs("MGSP", device_size=96 << 20)
+        result = run_mobibench(fs, mode=mode, journal_mode="wal", transactions=40)
+        assert result.transactions == 40
+        assert result.tx_per_sec > 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_mobibench(make_fs("MGSP", device_size=96 << 20), mode="upsert")
+
+    def test_off_mode(self):
+        fs = make_fs("Ext4-DAX", device_size=96 << 20)
+        result = run_mobibench(fs, mode="insert", journal_mode="off", transactions=30)
+        assert result.journal_mode == "off"
+        assert result.tx_per_sec > 0
+
+
+class TestTpcc:
+    def test_full_mix_runs_and_balances(self):
+        fs = make_fs("MGSP", device_size=192 << 20)
+        result = run_tpcc(fs, journal_mode="wal", transactions=60)
+        assert result.transactions == 60
+        assert result.tpm > 0
+        assert set(result.per_type) <= {
+            "new_order",
+            "payment",
+            "order_status",
+            "delivery",
+            "stock_level",
+        }
+        assert sum(result.per_type.values()) == 60
+
+    def test_new_order_consistency(self):
+        """District next-order counters match the orders actually stored."""
+        fs = make_fs("Ext4-DAX", device_size=192 << 20)
+        db = Database(fs, name="tpcc.db", journal_mode="wal", capacity=40 << 20)
+        driver = TpccDriver(db)
+        driver.create_schema()
+        driver.load()
+        for _ in range(30):
+            driver.new_order()
+        total_orders = sum(driver.next_order_id[d] - 1 for d in range(1, DISTRICTS + 1))
+        assert total_orders == 30
+        stored = db.table("orders").count()
+        assert stored == 30
+        # Every order has its order lines.
+        for d in range(1, DISTRICTS + 1):
+            for o in range(1, driver.next_order_id[d]):
+                order = db.table("orders").get((1, d, o))
+                lines = list(db.table("order_line").scan_prefix((1, d, o)))
+                assert order is not None and len(lines) == order[1]
+
+    def test_payment_conserves_money(self):
+        fs = make_fs("Ext4-DAX", device_size=192 << 20)
+        db = Database(fs, name="tpcc.db", journal_mode="off", capacity=40 << 20)
+        driver = TpccDriver(db)
+        driver.create_schema()
+        driver.load()
+        ytd0 = db.table("warehouse").get((1,))[2]
+        for _ in range(20):
+            driver.payment()
+        ytd1 = db.table("warehouse").get((1,))[2]
+        paid = sum(row[0] for _, row in db.table("history").scan_all())
+        assert ytd1 - ytd0 == pytest.approx(paid)
+
+    def test_delivery_clears_new_orders(self):
+        fs = make_fs("Ext4-DAX", device_size=192 << 20)
+        db = Database(fs, name="tpcc.db", journal_mode="wal", capacity=40 << 20)
+        driver = TpccDriver(db)
+        driver.create_schema()
+        driver.load()
+        for _ in range(15):
+            driver.new_order()
+        before = db.table("new_order").count()
+        driver.delivery()
+        after = db.table("new_order").count()
+        assert after < before

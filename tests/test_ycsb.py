@@ -1,0 +1,66 @@
+"""YCSB extension workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.registry import make_fs
+from repro.workloads.ycsb import WORKLOADS, YcsbResult, ZipfGenerator, run_ycsb
+
+
+class TestZipf:
+    def test_range(self):
+        z = ZipfGenerator(100, seed=1)
+        draws = [z.next() for _ in range(500)]
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_skew(self):
+        z = ZipfGenerator(1000, seed=2)
+        draws = [z.next() for _ in range(2000)]
+        head = sum(1 for d in draws if d < 10)
+        assert head > len(draws) * 0.25  # heavy head
+
+    def test_deterministic(self):
+        a = ZipfGenerator(50, seed=3)
+        b = ZipfGenerator(50, seed=3)
+        assert [a.next() for _ in range(20)] == [b.next() for _ in range(20)]
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+
+
+class TestRunYcsb:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_all_workloads_run(self, workload):
+        fs = make_fs("MGSP", device_size=96 << 20)
+        result = run_ycsb(fs, workload=workload, records=400, operations=80)
+        assert isinstance(result, YcsbResult)
+        assert result.ops_per_sec > 0
+        assert sum(result.per_op.values()) == 80
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            run_ycsb(make_fs("MGSP", device_size=96 << 20), workload="Z")
+
+    def test_mix_respected(self):
+        fs = make_fs("Ext4-DAX", device_size=96 << 20)
+        result = run_ycsb(fs, workload="B", records=400, operations=200)
+        assert result.per_op.get("read", 0) > result.per_op.get("update", 0) * 5
+
+    def test_mgsp_wins_update_heavy(self):
+        """Workload A (update heavy, WAL commits per statement): the
+        paper's write-path advantage shows up here too."""
+        results = {}
+        for name in ("Ext4-DAX", "MGSP"):
+            fs = make_fs(name, device_size=96 << 20)
+            results[name] = run_ycsb(fs, workload="A", records=400, operations=150).ops_per_sec
+        assert results["MGSP"] > results["Ext4-DAX"]
+
+    def test_read_only_roughly_equal(self):
+        results = {}
+        for name in ("Ext4-DAX", "MGSP"):
+            fs = make_fs(name, device_size=96 << 20)
+            results[name] = run_ycsb(fs, workload="C", records=400, operations=150).ops_per_sec
+        # All reads hit the DB page cache: FS barely matters.
+        assert 0.8 <= results["MGSP"] / results["Ext4-DAX"] <= 1.3
