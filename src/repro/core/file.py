@@ -18,6 +18,8 @@ from repro.util import align_down
 def _coalesce(writes):
     """Merge adjacent device writes (e.g. sibling leaf logs allocated
     back-to-back) so they cost one media op like one large store."""
+    if len(writes) <= 1:
+        return writes
     merged = []
     for off, payload in writes:
         if merged and merged[-1][0] + len(merged[-1][1]) == off:
@@ -40,6 +42,13 @@ class MgspFile(FileHandle):
         self._mst: Optional[Tuple[int, int]] = None
         self.mst_hits = 0
         self.mst_misses = 0
+        #: leaf fast path: leaf_index -> (leaf, root->parent ancestors),
+        #: valid only while (_lp_height, _lp_epoch) match the live tree.
+        self._leaf_paths: dict = {}
+        self._lp_height = -1
+        self._lp_epoch = -1
+        self.fast_hits = 0
+        self.fast_misses = 0
 
     @property
     def size(self) -> int:
@@ -149,13 +158,27 @@ class MgspFile(FileHandle):
         # An op needing more metadata slots than one entry holds is split
         # into independently-atomic sub-writes.
         self._ensure_height(offset + len(data))
+        if self.config.leaf_fast_path:
+            leaf_index = offset // self.config.leaf_size
+            if offset + len(data) <= (leaf_index + 1) * self.config.leaf_size:
+                # Fully inside one leaf: exactly one terminal, so the
+                # slot-budget split question is settled by geometry and
+                # the planner can replay the handle's cached root->leaf
+                # chain instead of descending.
+                try:
+                    self._write_atomic(offset, data, leaf_index)
+                except AllocationError:
+                    self.checkpoint()
+                    self._write_atomic(offset, data, leaf_index)
+                self._note_write(len(data))
+                return len(data)
         if self._terminal_count(offset, len(data), MAX_SLOTS) > MAX_SLOTS:
             mid = align_down(offset + len(data) // 2, self.config.sub_block)
             if mid <= offset:
                 mid = offset + len(data) // 2
             self.write(offset, data[: mid - offset])
             self.write(mid, data[mid - offset :])
-            return len(data)
+            return len(data)  # sub-writes already notified the flusher
         try:
             self._write_atomic(offset, data)
         except AllocationError:
@@ -164,29 +187,78 @@ class MgspFile(FileHandle):
             # online), then retry once.
             self.checkpoint()
             self._write_atomic(offset, data)
+        self._note_write(len(data))
         return len(data)
+
+    def _note_write(self, nbytes: int) -> None:
+        flusher = self.fs.flusher
+        if flusher is not None:
+            flusher.note_write(self, nbytes)
+
+    def _leaf_path(self, leaf_index: int):
+        """Resolve (leaf, root->parent ancestor chain), cached per handle.
+
+        Node words are always read *live* from the DRAM mirror when the
+        plan is built, so the cache only guards the references: it is
+        invalidated when the tree height changes (the chain gains a
+        level) or when the DRAM node set is rebuilt or discarded
+        (``tree.epoch``, bumped by checkpoint/close/remount).
+        """
+        tree = self.tree
+        if tree.height != self._lp_height or tree.epoch != self._lp_epoch:
+            self._leaf_paths.clear()
+            self._lp_height = tree.height
+            self._lp_epoch = tree.epoch
+        ctx = self._leaf_paths.get(leaf_index)
+        if ctx is not None:
+            self.fast_hits += 1
+            return ctx
+        self.fast_misses += 1
+        degree = self.config.degree
+        ancestors = [
+            tree.node(level, leaf_index // degree**level)
+            for level in range(tree.height, 0, -1)
+        ]
+        leaf = tree.node(0, leaf_index)
+        if len(self._leaf_paths) >= 1 << 16:  # bound handle memory
+            self._leaf_paths.clear()
+        ctx = (leaf, ancestors)
+        self._leaf_paths[leaf_index] = ctx
+        return ctx
 
     def _ensure_height(self, end: int) -> None:
         if end > self.tree.covered():
             self.tree.grow_to(end)
             self.fs.device.fence()
 
-    def _write_atomic(self, offset: int, data: bytes) -> None:
+    def _write_atomic(
+        self, offset: int, data: bytes, leaf_index: Optional[int] = None
+    ) -> None:
         fs = self.fs
         rec = fs.recorder
         timing = fs.timing
         thread = fs.current_thread
-        with fs.op("write"):
+        # Inlined fs.op("write") bracket (hot path: no contextmanager).
+        enabled = rec.enabled
+        if enabled:
+            rec.begin_op("write")
+            rec.compute(timing.syscall_ns if fs.kernel_space else timing.user_call_ns)
+        try:
             # 1. Claim a private metadata-log entry (hash + CAS probing).
-            entry = fs.metalog.claim(thread, rec)
+            entry = fs.metalog.claim(thread, rec if enabled else None)
             try:
-                self._write_locked(entry, offset, data)
+                self._write_locked(entry, offset, data, leaf_index)
             finally:
                 fs.metalog.release(entry)
+        finally:
+            if enabled:
+                rec.end_op()
         fs.api.writes += 1
         fs.api.bytes_written += len(data)
 
-    def _write_locked(self, entry: int, offset: int, data: bytes) -> None:
+    def _write_locked(
+        self, entry: int, offset: int, data: bytes, leaf_index: Optional[int] = None
+    ) -> None:
         fs = self.fs
         rec = fs.recorder
         timing = fs.timing
@@ -196,11 +268,17 @@ class MgspFile(FileHandle):
         # 2. Plan: traverse the tree, pick log granularities, compute
         #    RMW fills (charged as reads by the device tracer).
         saved = self._mst_savings(offset, len(data))
-        plan = self.shadow.plan_write(offset, data, gen)
-        rec.compute(timing.tree_node_ns * max(1, plan.nodes_visited - saved))
+        if leaf_index is not None:
+            leaf, ancestors = self._leaf_path(leaf_index)
+            plan = self.shadow.plan_write_fast(offset, data, gen, leaf, ancestors)
+            covering = (0, leaf_index)
+        else:
+            plan = self.shadow.plan_write(offset, data, gen)
+            covering = self._covering_node(offset, len(data))
+        if rec.enabled:
+            rec.compute(timing.tree_node_ns * max(1, plan.nodes_visited - saved))
 
         # 3. Lock (MGL or greedy).
-        covering = self._covering_node(offset, len(data))
         lock_keys = fs.mgl.acquire(
             thread,
             self.inode.id,
@@ -212,13 +290,13 @@ class MgspFile(FileHandle):
 
         # 4. Eager existing-bit refreshes + fresh log pointers + data,
         #    all made durable by one fence.
-        for node, word in plan.refreshes:
-            self.tree.store_word(node, word)
-        for node in plan.new_logs:
-            self.tree.store_log_ptr(node, node.log_off)
-            rec.compute(timing.block_alloc_ns * 0.2)  # per-size free-list pop
-        for dev_off, payload in _coalesce(plan.data_writes):
-            fs.device.nt_store(dev_off, payload)
+        self.tree.store_words(plan.refreshes)
+        if plan.new_logs:
+            self.tree.store_log_ptrs(plan.new_logs)
+            if rec.enabled:
+                # per-size free-list pop
+                rec.compute(timing.block_alloc_ns * 0.2 * len(plan.new_logs))
+        fs.device.nt_store_v(_coalesce(plan.data_writes))
         fs.device.fence()
 
         # 5. Commit point: persist the metadata-log entry.
@@ -234,8 +312,7 @@ class MgspFile(FileHandle):
         )
 
         # 6. Apply the valid-bit words (atomic stores) + size, fence.
-        for node, word, _slot in plan.commits:
-            self.tree.store_word(node, word)
+        self.tree.store_words([(node, word) for node, word, _slot in plan.commits])
         if new_size > self.inode.size:
             fs.volume.set_size_volatile(self.inode, new_size)
             fs.device.atomic_store_u64(self.inode.size_field_offset, new_size)
@@ -370,4 +447,6 @@ class MgspFile(FileHandle):
                 fs.logs.free(log_off, size)
             fs.volume.persist_size(self.inode)
         super().close()
+        if fs.flusher is not None:
+            fs.flusher.forget(self.inode.id)
         fs.release_handle(self.inode.id)

@@ -1,0 +1,84 @@
+"""Asynchronous write-back epochs: the background checkpoint scheduler.
+
+The paper reclaims log space at ``close()``; a long-running writer
+otherwise accumulates an unbounded fresh-log backlog that stretches
+recovery and eventually exhausts the log area, forcing a synchronous
+stop-the-world checkpoint *inside* a write. With
+``MgspConfig.async_writeback`` the scheduler drains files proactively at
+*epoch boundaries*: once a file has accumulated ``writeback_epoch_bytes``
+fresh log bytes (or ``writeback_epoch_ops`` writes) since its last
+drain, its logs are written back on the filesystem's background trace
+stream (``MgspFilesystem.bg_recorder``). In the simulated timeline those
+traces replay as a dedicated flusher thread competing for NVM channels
+(see ``ReplayEngine.run(background=...)``); the foreground write that
+crossed the boundary pays only the hand-off.
+
+Crash consistency is untouched: a drain is exactly
+:meth:`repro.core.file.MgspFile.checkpoint` — copy while the bitmap
+still points at the logs, fence, then atomic per-node clears — and an
+epoch boundary always lands *between* two synchronized atomic ops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class WritebackScheduler:
+    """Per-file fresh-log accounting + epoch-boundary drains."""
+
+    def __init__(self, fs, epoch_bytes: int, epoch_ops: int) -> None:
+        self.fs = fs
+        self.epoch_bytes = epoch_bytes
+        self.epoch_ops = epoch_ops
+        self._fresh_bytes: Dict[int, int] = {}
+        self._fresh_ops: Dict[int, int] = {}
+        # observability
+        self.epochs = 0
+        self.bytes_drained = 0
+        self.deferred = 0
+
+    def note_write(self, handle, nbytes: int) -> None:
+        """Record one completed synchronized write; drain on boundary."""
+        key = handle.inode.id
+        fresh = self._fresh_bytes.get(key, 0) + nbytes
+        ops = self._fresh_ops.get(key, 0) + 1
+        self._fresh_bytes[key] = fresh
+        self._fresh_ops[key] = ops
+        if (self.epoch_bytes and fresh >= self.epoch_bytes) or (
+            self.epoch_ops and ops >= self.epoch_ops
+        ):
+            self.drain(handle)
+
+    def drain(self, handle) -> int:
+        """Checkpoint *handle* on the background trace stream."""
+        key = handle.inode.id
+        if handle.closed:
+            self._fresh_bytes[key] = 0
+            self._fresh_ops[key] = 0
+            return 0
+        txn = handle._open_txn
+        if txn is not None and txn.open:
+            # Staged transaction words must not be checkpointed out from
+            # under the transaction; retry at the next boundary.
+            self.deferred += 1
+            return 0
+        fs = self.fs
+        fg_recorder, fg_tracer = fs.recorder, fs.device.tracer
+        fs.recorder = fs.bg_recorder
+        fs.device.tracer = fs.bg_recorder
+        try:
+            copied = handle.checkpoint()
+        finally:
+            fs.recorder = fg_recorder
+            fs.device.tracer = fg_tracer
+        self._fresh_bytes[key] = 0
+        self._fresh_ops[key] = 0
+        self.epochs += 1
+        self.bytes_drained += copied
+        return copied
+
+    def forget(self, inode_id: int) -> None:
+        """Drop accounting for a closed file (its logs are gone)."""
+        self._fresh_bytes.pop(inode_id, None)
+        self._fresh_ops.pop(inode_id, None)

@@ -118,6 +118,8 @@ class MetadataLog:
     # -- claim / release (lock-free via hash + CAS in the real system) -------
 
     def claim(self, thread_id: int, recorder=None) -> int:
+        if recorder is not None and not recorder.enabled:
+            recorder = None
         if recorder is not None:
             recorder.compute(recorder.timing.hash_ns)
         start = hash(thread_id) % self.entries
@@ -150,14 +152,15 @@ class MetadataLog:
         if len(slots) > MAX_SLOTS:
             raise FsError(f"write needs {len(slots)} metadata slots > {MAX_SLOTS}")
         nslots_field = len(slots) | flags
-        body = HEADER.pack(0, file_id, nslots_field, length, gen, offset, file_size)
+        body = bytearray(HEADER.pack(0, file_id, nslots_field, length, gen, offset, file_size))
         for slot in slots:
             body += slot.pack()
-        digest = crc(body[4:])
-        body = HEADER.pack(digest, file_id, nslots_field, length, gen, offset, file_size) + body[HEADER.size :]
+        # Patch the checksum in place instead of re-packing the header.
+        struct.pack_into("<I", body, 0, crc(memoryview(body)[4:]))
         # Partial-flush optimization: small entries persist only 64 bytes.
         flush_len = 64 if len(slots) <= 3 else ENTRY_SIZE
-        body = body.ljust(flush_len, b"\0")
+        if len(body) < flush_len:
+            body += bytes(flush_len - len(body))
         off = self.entry_offset(index)
         if self.device.tracer is not None:
             # Entry marshalling + checksum computation.
@@ -169,8 +172,7 @@ class MetadataLog:
         """Mark the entry outdated (length=0). Deliberately unfenced: a
         replay of an already-applied entry is idempotent."""
         off = self.entry_offset(index)
-        self.device.atomic_store_u64(off + 8, 0)  # clears length + gen
-        self.device.flush(off + 8, 8)
+        self.device.store_word_v(((off + 8, 0),))  # clears length + gen
 
     # -- recovery scan ---------------------------------------------------------------
 

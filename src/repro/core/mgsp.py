@@ -6,12 +6,14 @@ from typing import Dict, Optional
 
 from repro.core.config import MgspConfig
 from repro.core.file import MgspFile
+from repro.core.flusher import WritebackScheduler
 from repro.core.locks import MglLockManager
 from repro.core.metalog import MetadataLog
 from repro.core.radix import required_table_len
 from repro.errors import FileBusy, FileNotFound
 from repro.fsapi.interface import FileSystem, OpenFlags
 from repro.nvm.allocator import LogAllocator
+from repro.sim.trace import TraceRecorder
 
 
 class MgspFilesystem(FileSystem):
@@ -26,6 +28,8 @@ class MgspFilesystem(FileSystem):
     kernel_space = False
     consistency = "operation"
     log_fraction = 0.40
+    #: the async write-back flusher replays as a daemon thread
+    bg_daemon = True
 
     def __init__(self, *args, config: Optional[MgspConfig] = None, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -40,6 +44,24 @@ class MgspFilesystem(FileSystem):
         self.current_thread = 0
         self._refs: Dict[int, int] = {}
         self._txn_counter = 0
+        self._init_flusher()
+
+    def _init_flusher(self) -> None:
+        """Asynchronous write-back epochs: background checkpoint traces
+        land on ``bg_recorder`` and replay as a flusher thread."""
+        self.bg_recorder = TraceRecorder(self.timing)
+        self.flusher = (
+            WritebackScheduler(
+                self,
+                self.config.writeback_epoch_bytes,
+                self.config.writeback_epoch_ops,
+            )
+            if self.config.async_writeback
+            else None
+        )
+
+    def take_bg_traces(self):
+        return self.bg_recorder.take_completed()
 
     # -- handle refcounts (greedy locking gate) --------------------------------
 
@@ -122,4 +144,5 @@ class MgspFilesystem(FileSystem):
         fs.current_thread = 0
         fs._refs = {}
         fs._txn_counter = 0
+        fs._init_flusher()
         return fs

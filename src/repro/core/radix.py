@@ -93,6 +93,10 @@ class RadixTree:
         self.nodes: Dict[Tuple[int, int], Node] = {}
         self.gen = 0
         self.height = self._height_for(inode.size)
+        #: bumped whenever the DRAM node set is rebuilt or discarded
+        #: (clear_table / load_from_table) so cached Node references —
+        #: e.g. the leaf fast path's ancestor chain — can be invalidated
+        self.epoch = 0
 
     # -- geometry -----------------------------------------------------------
 
@@ -164,6 +168,23 @@ class RadixTree:
         self.device.atomic_store_u64(node.slot_off + 8, log_off)
         self.device.flush(node.slot_off + 8, 8)
 
+    def store_words(self, pairs) -> None:
+        """Batched :meth:`store_word` of (node, word) pairs (one
+        vectorized device call; the caller fences)."""
+        items = []
+        for node, word in pairs:
+            node.word = word
+            items.append((node.slot_off, word))
+        if items:
+            self.device.store_word_v(items)
+
+    def store_log_ptrs(self, nodes) -> None:
+        """Batched :meth:`store_log_ptr` from each node's own
+        ``log_off`` (already set by the planner's allocation)."""
+        items = [(node.slot_off + 8, node.log_off) for node in nodes]
+        if items:
+            self.device.store_word_v(items)
+
     def grow_to(self, size: int) -> List[Node]:
         """Extend the tree height until *size* is covered; returns the new
         root nodes created (their existing bits were refreshed)."""
@@ -192,6 +213,7 @@ class RadixTree:
         raw = self.device.buffer.load(self.inode.node_table_off, total_slots * SLOT_SIZE)
         words = np.frombuffer(raw, dtype="<u8")
         nonzero = np.flatnonzero(words)
+        self.epoch += 1
         max_gen = 0
         for flat in nonzero.tolist():
             slot_idx, field = divmod(flat, 2)
@@ -240,5 +262,6 @@ class RadixTree:
                 self.device.flush(node.slot_off + 8, 8)
         self.device.fence()
         self.nodes.clear()
+        self.epoch += 1
         self.gen = 0
         self.height = self._height_for(self.inode.size)

@@ -51,7 +51,7 @@ class MslStats:
     logs_allocated: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class WritePlan:
     gen: int
     data_writes: List[Tuple[int, bytes]] = field(default_factory=list)
@@ -96,6 +96,56 @@ class ShadowLog:
         self._descend_write(
             plan, root, 0, self.inode.base, 0, offset, len(data), data, offset
         )
+        return plan
+
+    def plan_write_fast(
+        self, offset: int, data: bytes, gen: int, leaf: Node, ancestors
+    ) -> WritePlan:
+        """Plan a write fully contained in *leaf* without descending.
+
+        *ancestors* is the leaf's ancestor chain from the root down to
+        its parent (resolved once and cached by
+        :class:`~repro.core.file.MgspFile`). Because a leaf-contained
+        write can never fully cover a non-leaf node, the generic descent
+        would visit exactly this chain and recurse into a single child
+        at every level; this method replays that walk iteratively over
+        the cached node references — same refreshes, same path, same
+        terminal plan, none of the per-level child-range arithmetic or
+        dictionary lookups.
+        """
+        plan = WritePlan(gen=gen)
+        path_gen = 0
+        last_base, last_start = self.inode.base, 0
+        height = self.tree.height
+        path = plan.path
+        refreshes = plan.refreshes
+        gen_mask = bitmap.GEN_MASK
+        gen_shifted = gen << 32
+        # Inlined effective_nonleaf + pack_nonleaf(existing=True): this
+        # loop runs for every ancestor of every leaf-contained write.
+        for node in ancestors:
+            word = node.word
+            if (word >> 32) & gen_mask < path_gen:
+                # Entire word predates a coarse ancestor update: dead.
+                valid = 0
+                sub_gen = path_gen
+            else:
+                valid = word & 1
+                sub_gen = (word >> 8) & gen_mask
+                if sub_gen < path_gen:
+                    sub_gen = path_gen
+            new_word = valid | 2 | (sub_gen << 8) | gen_shifted
+            if new_word != word:
+                refreshes.append((node, new_word))
+            path.append((node.level, node.index))
+            if valid and node.level != height:
+                last_base, last_start = node.log_off, node.start
+            path_gen = sub_gen
+        plan.nodes_visited = len(ancestors) + 1
+        self._plan_leaf(
+            plan, leaf, path_gen, last_base, last_start, offset, len(data), data, offset
+        )
+        plan.terminals.append((0, leaf.index))
         return plan
 
     def _descend_write(
@@ -208,15 +258,16 @@ class ShadowLog:
         cfg = self.config
         nbits = cfg.effective_leaf_bits
         sub = cfg.leaf_size // nbits
-        eff = bitmap.effective_leaf(node.word, path_gen)
+        # Inlined effective_leaf / mask_for_range (hot path).
+        word = node.word
+        mask = 0 if (word >> 32) & bitmap.GEN_MASK < path_gen else word & bitmap.MASK32
         s0 = (off - node.start) // sub
         s1 = -(-(off + length - node.start) // sub)
-        covered = bitmap.mask_for_range(s0, s1)
+        covered = ((1 << (s1 - s0)) - 1) << s0
         shadow = cfg.shadow_logging
 
-        need_leaf_log = any(
-            ((eff.mask >> i) & 1) == 0 or not shadow for i in range(s0, s1)
-        )
+        covered_mask = mask & covered
+        need_leaf_log = not shadow or covered_mask != covered
         if need_leaf_log and node.log_off == 0:
             node.log_off = self.alloc.alloc(cfg.leaf_size)
             plan.new_logs.append(node)
@@ -225,59 +276,110 @@ class ShadowLog:
         if s1 - s0 < nbits:
             self.stats.sub_block_writes += 1
 
-        # Build one coalesced write per run of sub-blocks sharing a target.
-        run_target: Optional[int] = None
-        run_buf = bytearray()
+        # Slice the write by runs of sub-blocks sharing a target base:
+        # under shadow logging a run is a maximal stretch of equal valid
+        # bits (set -> undo into the ancestor slot, clear -> redo into
+        # the own log); without it every sub-block targets the own log.
+        # Adjacent runs whose targets happen to touch are then merged so
+        # the emitted device writes match the per-sub-block planner
+        # exactly.
+        end = off + length
+        stats = self.stats
+        log_delta = node.log_off - node.start
+        anc_delta = last_base - last_start
 
-        def flush_run() -> None:
-            nonlocal run_buf, run_target
-            if run_target is not None and run_buf:
-                limit = self._target_limit_base(run_target)
-                payload = bytes(run_buf[: max(0, limit - run_target)])
-                if payload:
-                    plan.data_writes.append((run_target, payload))
-            run_buf = bytearray()
-            run_target = None
-
-        for i in range(s0, s1):
-            bit = (eff.mask >> i) & 1
-            bs = node.start + i * sub  # sub-block global range
-            be = bs + sub
-            lo = max(off, bs)
-            hi = min(off + length, be)
-            # Where does this sub-block's new data go?
+        if s1 - s0 == 1:
+            # Single touched sub-block (the small-write hot case): one
+            # run, one target, both RMW fills read the same source.
+            bit = (mask >> s0) & 1
             if shadow and bit:
-                self.stats.undo_commits += 1
-                target = last_base + (bs - last_start)
-                auth_for_fill = node.log_off + (bs - node.start)
+                stats.undo_commits += 1
+                target_delta = anc_delta
             else:
-                self.stats.redo_commits += 1
-                target = node.log_off + (bs - node.start)
-                if bit:
-                    auth_for_fill = node.log_off + (bs - node.start)
-                else:
-                    auth_for_fill = last_base + (bs - last_start)
-            buf = bytearray(sub)
-            if lo > bs:  # RMW prefix fill from the authoritative source
-                buf[: lo - bs] = self._read_clipped(auth_for_fill, lo - bs)
-                self.stats.rmw_fill_bytes += lo - bs
-            if hi < be:  # RMW suffix fill
-                buf[hi - bs :] = self._read_clipped(auth_for_fill + (hi - bs), be - hi)
-                self.stats.rmw_fill_bytes += be - hi
-            buf[lo - bs : hi - bs] = data[lo - data_base : hi - data_base]
+                stats.redo_commits += 1
+                target_delta = log_delta
+            fill_delta = log_delta if bit else anc_delta
+            run_start = node.start + s0 * sub
+            run_end = run_start + sub
+            payload = data[off - data_base : end - data_base]
+            if off > run_start:
+                head = self._read_clipped(run_start + fill_delta, off - run_start)
+                stats.rmw_fill_bytes += off - run_start
+                payload = head + payload
+            if end < run_end:
+                payload = payload + self._read_clipped(end + fill_delta, run_end - end)
+                stats.rmw_fill_bytes += run_end - end
+            target = run_start + target_delta
+            limit = self._target_limit_base(target)
+            if limit - target < len(payload):
+                payload = payload[: max(0, limit - target)]
+            if payload:
+                plan.data_writes.append((target, payload))
+            new_mask = mask ^ covered if shadow else mask | covered
+            plan.commits.append(
+                (node, bitmap.pack_leaf(new_mask, plan.gen),
+                 MetaSlot(_ordinal(self.tree, node), True, False, new_mask))
+            )
+            if not shadow:
+                for rs, re_ in bitmap.iter_mask_runs(new_mask, nbits):
+                    src = node.log_off + rs * sub
+                    dst = last_base + (node.start + rs * sub - last_start)
+                    plan.checkpoints.append((node, src, dst, (re_ - rs) * sub))
+            return
 
-            if run_target is not None and target == run_target + len(run_buf):
-                run_buf += buf
+        pieces = []  # (target, [payload chunks])
+        i = s0
+        while i < s1:
+            bit = (mask >> i) & 1
+            j = i + 1
+            if shadow:
+                while j < s1 and ((mask >> j) & 1) == bit:
+                    j += 1
             else:
-                flush_run()
-                run_target = target
-                run_buf = bytearray(buf)
-        flush_run()
+                j = s1
+            run_start = node.start + i * sub
+            run_end = node.start + j * sub
+            if shadow and bit:
+                stats.undo_commits += j - i
+                target = run_start + anc_delta
+            else:
+                stats.redo_commits += j - i
+                target = run_start + log_delta
+            lo = off if off > run_start else run_start
+            hi = end if end < run_end else run_end
+            chunks = []
+            # RMW fills read from the authoritative source of the edge
+            # sub-block: its own log if its valid bit is set, else the
+            # last valid ancestor's slot.
+            if lo > run_start:  # prefix fill (first touched sub-block)
+                delta = log_delta if bit else anc_delta
+                chunks.append(self._read_clipped(run_start + delta, lo - run_start))
+                stats.rmw_fill_bytes += lo - run_start
+            chunks.append(data[lo - data_base : hi - data_base])
+            if hi < run_end:  # suffix fill (last touched sub-block)
+                delta = log_delta if (mask >> (j - 1)) & 1 else anc_delta
+                chunks.append(self._read_clipped(hi + delta, run_end - hi))
+                stats.rmw_fill_bytes += run_end - hi
+            if pieces and pieces[-1][0] + pieces[-1][1] == target:
+                prev = pieces[-1]
+                prev[1] += run_end - run_start
+                prev[2].extend(chunks)
+            else:
+                pieces.append([target, run_end - run_start, chunks])
+            i = j
+
+        for target, _plen, chunks in pieces:
+            payload = chunks[0] if len(chunks) == 1 else b"".join(chunks)
+            limit = self._target_limit_base(target)
+            if limit - target < len(payload):
+                payload = payload[: max(0, limit - target)]
+            if payload:
+                plan.data_writes.append((target, bytes(payload)))
 
         if shadow:
-            new_mask = eff.mask ^ covered
+            new_mask = mask ^ covered
         else:
-            new_mask = eff.mask | covered
+            new_mask = mask | covered
         word = bitmap.pack_leaf(new_mask, plan.gen)
         ordinal = _ordinal(self.tree, node)
         plan.commits.append((node, word, MetaSlot(ordinal, True, False, new_mask)))
@@ -524,17 +626,23 @@ class ShadowLog:
         """Copy every fresh log byte into the file (close / recovery).
 
         Parent-before-child order: deeper (fresher) content overwrites.
-        Returns the number of bytes copied.
+        All copies read from log blocks and write into the file extent
+        (disjoint regions), so the stores are gathered and issued as one
+        scatter-gather batch. Returns the number of bytes copied.
         """
         limit = min(self.tree.covered(), self.inode.size)
-        copied = self._wb_rec(self.tree.root, 0, 0, limit)
+        writes: List[Tuple[int, bytes]] = []
+        self._wb_rec(self.tree.root, 0, 0, limit, writes)
+        if writes:
+            self.device.nt_store_v(writes)
         self.device.fence()
-        return copied
+        return sum(len(data) for _, data in writes)
 
-    def _wb_rec(self, node: Optional[Node], path_gen: int, off: int, end: int) -> int:
+    def _wb_rec(
+        self, node: Optional[Node], path_gen: int, off: int, end: int, writes: List
+    ) -> None:
         if node is None or off >= end:
-            return 0
-        copied = 0
+            return
         if node.level == 0:
             cfg = self.config
             nbits = cfg.effective_leaf_bits
@@ -545,9 +653,8 @@ class ShadowLog:
                 hi = min(end, node.start + re_ * sub)
                 if lo < hi:
                     data = self.device.load(node.log_off + (lo - node.start), hi - lo)
-                    self.device.nt_store(self.inode.base + lo, data)
-                    copied += hi - lo
-            return copied
+                    writes.append((self.inode.base + lo, data))
+            return
 
         is_root = node.level == self.tree.height and node.index == 0
         eff = bitmap.effective_nonleaf(node.word, path_gen)
@@ -555,14 +662,11 @@ class ShadowLog:
             lo, hi = max(off, node.start), min(end, node.start + node.size)
             if lo < hi:
                 data = self.device.load(node.log_off + (lo - node.start), hi - lo)
-                self.device.nt_store(self.inode.base + lo, data)
-                copied += hi - lo
+                writes.append((self.inode.base + lo, data))
         if eff.existing or is_root:
-            child_size = self.tree.gran(node.level - 1)
             lo, hi = max(off, node.start), min(end, node.start + node.size)
             if lo < hi:
                 first, last_idx = self.tree.child_range(node, lo, hi - lo)
                 for i in range(first, last_idx + 1):
                     child = self.tree.peek(node.level - 1, i)
-                    copied += self._wb_rec(child, eff.sub_gen, lo, hi)
-        return copied
+                    self._wb_rec(child, eff.sub_gen, lo, hi, writes)

@@ -26,7 +26,7 @@ def describe_device(device) -> str:
         f"  flushed lines : {stats.flushed_lines:,}",
         f"  fences        : {stats.fences:,}",
         f"  dirty ranges  : {len(device.buffer.dirty)}",
-        f"  pending ranges: {len(device.buffer.pending)}",
+        f"  pending ranges: {len(device.buffer.pending_set())}",
     ]
     return "\n".join(lines)
 

@@ -11,6 +11,12 @@ Semantics (matching x86 + ADR persistence):
 
 Word (8-byte) granularity is the atomicity unit: an aligned 8-byte store
 never tears, anything larger may persist partially.
+
+The crash-image candidate set (``unfenced_words``) is maintained
+incrementally: ``touched`` tracks the word-aligned ranges stored since
+they were last made durable, so composing a crash image scans only those
+ranges instead of re-walking every dirty/pending byte; the resulting
+word list is additionally memoized until the next mutation.
 """
 
 from __future__ import annotations
@@ -20,7 +26,14 @@ from typing import Iterable, List, Optional
 
 from repro.errors import OutOfRangeError, TornWriteError
 from repro.nvm.intervals import IntervalSet
-from repro.util import ATOMIC_UNIT, CACHE_LINE, align_down, align_up
+from repro.util import ATOMIC_UNIT, CACHE_LINE
+
+# Alignment masks (power-of-two sizes): x & _LINE_MASK == align_down,
+# (x + LINE - 1) & _LINE_MASK == align_up. Inlined in the hot methods —
+# these run several times per simulated write.
+_LINE = CACHE_LINE
+_LINE_MASK = -CACHE_LINE
+_WORD_MASK = -ATOMIC_UNIT
 
 
 class StoreBuffer:
@@ -31,7 +44,44 @@ class StoreBuffer:
         self.working = bytearray(size)  # what loads observe
         self.durable = bytearray(size)  # what survives a crash (fenced)
         self.dirty = IntervalSet()  # stored, not flushed
-        self.pending = IntervalSet()  # flushed, not fenced
+        #: flushed, not fenced. Like ``touched``, maintained lazily: the
+        #: non-temporal store paths append line-aligned ranges to
+        #: ``_pending_log`` and the log is folded in only when interval
+        #: semantics are needed (fence-with-dirty, external inspection);
+        #: the common fence just replays the raw ranges (idempotent).
+        self.pending = IntervalSet()
+        self._pending_log: List[tuple] = []
+        #: word-aligned ranges stored since last made durable; always a
+        #: superset of the words where working and durable differ.
+        #: Maintained lazily: stores append to ``_touched_log`` and the
+        #: log is folded into the set only when someone needs it
+        #: (fence-with-dirty, unfenced_words) — the common fence drops
+        #: both wholesale.
+        self.touched = IntervalSet()
+        self._touched_log: List[tuple] = []
+        self._uw_cache: Optional[List[int]] = None
+
+    def _consolidate_touched(self) -> IntervalSet:
+        log = self._touched_log
+        if log:
+            touched = self.touched
+            for s, e in log:
+                touched.add(s, e)
+            log.clear()
+        return self.touched
+
+    def _consolidate_pending(self) -> IntervalSet:
+        log = self._pending_log
+        if log:
+            pending = self.pending
+            for s, e in log:
+                pending.add(s, e)
+            log.clear()
+        return self.pending
+
+    def pending_set(self) -> IntervalSet:
+        """The flushed-not-fenced interval set (consolidated view)."""
+        return self._consolidate_pending()
 
     # -- the persistence primitives ---------------------------------------
 
@@ -40,7 +90,66 @@ class StoreBuffer:
         if offset < 0 or end > self.size:
             raise OutOfRangeError(f"store [{offset}, {end}) outside device of {self.size}")
         self.working[offset:end] = data
-        self.dirty.add(align_down(offset, CACHE_LINE), align_up(end, CACHE_LINE))
+        self.dirty.add(offset & _LINE_MASK, (end + _LINE - 1) & _LINE_MASK)
+        self._touched_log.append((offset & _WORD_MASK, (end + ATOMIC_UNIT - 1) & _WORD_MASK))
+        self._uw_cache = None
+
+    def nt_store(self, offset: int, data: bytes) -> int:
+        """Fused store + flush of exactly the stored range (non-temporal
+        store). Equivalent to ``store`` followed by ``flush`` over the
+        same bytes — the just-stored lines are always dirty, so the
+        intermediate dirty-set round trip is skipped. Returns the number
+        of lines queued (identical to what ``flush`` would report).
+        """
+        end = offset + len(data)
+        if offset < 0 or end > self.size:
+            raise OutOfRangeError(f"store [{offset}, {end}) outside device of {self.size}")
+        self.working[offset:end] = data
+        start = offset & _LINE_MASK
+        aend = (end + _LINE - 1) & _LINE_MASK
+        if self.dirty:
+            self.dirty.remove(start, aend)
+        self._pending_log.append((start, aend))
+        self._touched_log.append((offset & _WORD_MASK, (end + ATOMIC_UNIT - 1) & _WORD_MASK))
+        self._uw_cache = None
+        return (aend - start) // _LINE
+
+    def nt_store_word(self, offset: int, value: int) -> None:
+        """:meth:`nt_store` specialized for one aligned 8-byte word (the
+        metadata-commit pattern): same state transitions, one line."""
+        if offset % ATOMIC_UNIT != 0:
+            raise TornWriteError(f"atomic store at unaligned offset {offset}")
+        if offset < 0 or offset + 8 > self.size:
+            raise OutOfRangeError(f"store at {offset} outside device of {self.size}")
+        self.working[offset : offset + 8] = value.to_bytes(8, "little")
+        line = offset & _LINE_MASK
+        if self.dirty:
+            self.dirty.remove(line, line + _LINE)
+        self._pending_log.append((line, line + _LINE))
+        self._touched_log.append((offset, offset + 8))
+        self._uw_cache = None
+
+    def nt_store_words(self, words) -> None:
+        """Batch of :meth:`nt_store_word` calls: identical per-word state
+        transitions, shared attribute lookups across the batch."""
+        working = self.working
+        size = self.size
+        # A batch only removes from dirty, so emptiness checked once holds.
+        dirty = self.dirty if self.dirty else None
+        plog = self._pending_log
+        log = self._touched_log
+        for offset, value in words:
+            if offset % ATOMIC_UNIT != 0:
+                raise TornWriteError(f"atomic store at unaligned offset {offset}")
+            if offset < 0 or offset + 8 > size:
+                raise OutOfRangeError(f"store at {offset} outside device of {size}")
+            working[offset : offset + 8] = value.to_bytes(8, "little")
+            line = offset & _LINE_MASK
+            if dirty is not None:
+                dirty.remove(line, line + _LINE)
+            plog.append((line, line + _LINE))
+            log.append((offset, offset + 8))
+        self._uw_cache = None
 
     def atomic_store_u64(self, offset: int, value: int) -> None:
         """8-byte aligned atomic store (the only atomic unit NVM gives us)."""
@@ -63,22 +172,53 @@ class StoreBuffer:
         Returns the number of lines flushed (for cost accounting). Clean
         lines are skipped, as clwb on a clean line is nearly free.
         """
-        start = align_down(offset, CACHE_LINE)
-        end = align_up(offset + length, CACHE_LINE)
-        moved = self.dirty.intersect(start, end)
-        if not moved:
+        if not self.dirty:
             return 0
-        self.dirty.remove(start, end)
+        start = offset & _LINE_MASK
+        end = (offset + length + _LINE - 1) & _LINE_MASK
         nlines = 0
-        for s, e in moved:
-            self.pending.add(s, e)
-            nlines += (e - s) // CACHE_LINE
+        plog = self._pending_log
+        for s, e in self.dirty.iter_intersect(start, end):
+            plog.append((s, e))
+            nlines += (e - s) // _LINE
+        if nlines:
+            self.dirty.remove(start, end)
         return nlines
 
     def fence(self) -> None:
         """sfence: everything previously flushed becomes durable."""
-        for start, end in self.pending.pop_all():
-            self.durable[start:end] = self.working[start:end]
+        working = self.working
+        durable = self.durable
+        dirty = self.dirty
+        if not dirty:
+            # Common case: every store since the last fence was also
+            # flushed, so the popped pending set covers all of touched
+            # (touched ⊆ dirty ∪ pending always holds) — drop it whole.
+            # The raw pending log is replayed directly: duplicate or
+            # overlapping ranges just copy the same bytes twice.
+            pending = self.pending
+            if pending:
+                for start, end in pending:
+                    durable[start:end] = working[start:end]
+                pending.clear()
+            for start, end in self._pending_log:
+                durable[start:end] = working[start:end]
+            self._pending_log.clear()
+            if self.touched:
+                self.touched.clear()
+            self._touched_log.clear()
+            self._uw_cache = None
+            return
+        touched = self._consolidate_touched()
+        for start, end in self._consolidate_pending().pop_all():
+            durable[start:end] = working[start:end]
+            # The fenced words now match durably; keep only the parts
+            # that were re-dirtied after the flush as crash candidates.
+            if touched.overlaps(start, end):
+                touched.remove(start, end)
+                for ds, de in dirty.iter_intersect(start, end):
+                    touched.add(ds, de)
+        self._uw_cache = None
 
     def persist(self, offset: int, length: int) -> int:
         """flush + fence convenience; returns lines flushed."""
@@ -90,15 +230,42 @@ class StoreBuffer:
         """Make the entire working image durable (orderly shutdown)."""
         self.dirty.clear()
         self.pending.clear()
+        self._pending_log.clear()
+        self.touched.clear()
+        self._touched_log.clear()
+        self._uw_cache = None
         self.durable[:] = self.working
 
     # -- crash-image composition ------------------------------------------
 
     def unfenced_words(self) -> List[int]:
         """Offsets of every 8-byte word that differs between the working
-        and durable images and has not been fenced."""
+        and durable images and has not been fenced.
+
+        Memoized until the next store/fence/drain; the scan itself only
+        visits ``touched`` ranges rather than every dirty/pending line.
+        """
+        if self._uw_cache is None:
+            words: List[int] = []
+            working = self.working
+            durable = self.durable
+            for start, end in self._consolidate_touched():
+                if working[start:end] == durable[start:end]:
+                    continue
+                for off in range(start, end, ATOMIC_UNIT):
+                    if working[off : off + 8] != durable[off : off + 8]:
+                        words.append(off)
+            self._uw_cache = words
+        return list(self._uw_cache)
+
+    def _unfenced_words_full_scan(self) -> List[int]:
+        """Reference implementation: re-walk every dirty/pending word.
+
+        Kept for regression tests asserting the incremental tracker
+        reports the identical word set.
+        """
         words: List[int] = []
-        for interval_set in (self.dirty, self.pending):
+        for interval_set in (self.dirty, self._consolidate_pending()):
             for start, end in interval_set:
                 for off in range(start, end, ATOMIC_UNIT):
                     if self.working[off : off + 8] != self.durable[off : off + 8]:

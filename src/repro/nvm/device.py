@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.nvm.cache import StoreBuffer
 from repro.nvm.crash import CrashPlan
@@ -80,13 +80,95 @@ class NvmDevice:
         still requires a fence to be ordered-durable."""
         if self.crash_plan is not None:
             self.crash_plan.on_event("store")
-        self.buffer.store(offset, data)
-        flushed = self.buffer.flush(offset, len(data))
+        flushed = self.buffer.nt_store(offset, data)
         self.stats.stores += 1
         self.stats.stored_bytes += len(data)
         self.stats.flushed_lines += flushed
         if self.tracer is not None:
             self.tracer.io_write(len(data))
+
+    # -- scatter-gather entry points ---------------------------------------
+    #
+    # One Python call issues a whole interval list. Accounting stays per
+    # logical op: every element still counts one store (and one crash-plan
+    # event, and one tracer segment), so DeviceStats, trace costs, and
+    # crash-point enumeration are byte-for-byte identical to a loop of
+    # single-op calls — the batching only removes interpreter overhead.
+
+    def store_v(self, writes: Sequence[Tuple[int, bytes]]) -> None:
+        """Vectorized cached store of (offset, data) pairs."""
+        crash_plan = self.crash_plan
+        buffer = self.buffer
+        stats = self.stats
+        tracer = self.tracer
+        total = 0
+        for offset, data in writes:
+            if crash_plan is not None:
+                crash_plan.on_event("store")
+            buffer.store(offset, data)
+            stats.stores += 1
+            total += len(data)
+            if tracer is not None:
+                tracer.io_cached(len(data))
+        stats.stored_bytes += total
+
+    def nt_store_v(self, writes: Sequence[Tuple[int, bytes]]) -> None:
+        """Vectorized non-temporal store of (offset, data) pairs."""
+        crash_plan = self.crash_plan
+        buffer = self.buffer
+        stats = self.stats
+        tracer = self.tracer
+        total = 0
+        lines = 0
+        for offset, data in writes:
+            if crash_plan is not None:
+                crash_plan.on_event("store")
+            lines += buffer.nt_store(offset, data)
+            stats.stores += 1
+            total += len(data)
+            if tracer is not None:
+                tracer.io_write(len(data))
+        stats.stored_bytes += total
+        stats.flushed_lines += lines
+
+    def store_word_v(self, words: Sequence[Tuple[int, int]]) -> None:
+        """Vectorized ``atomic_store_u64 + flush`` of (offset, value)
+        pairs — the metadata-word commit pattern.
+
+        With a crash plan or tracer attached this delegates to the exact
+        two-step primitives so crash-event enumeration and trace
+        segments stay byte-identical. Otherwise the pair is fused
+        through the buffer's non-temporal store: the net effect on
+        working/dirty/pending/touched state and on DeviceStats is
+        provably the same (the just-stored line is always dirty, so the
+        flush always queues exactly that one line).
+        """
+        if self.crash_plan is not None or self.tracer is not None:
+            for offset, value in words:
+                self.atomic_store_u64(offset, value)
+                self.flush(offset, 8)
+            return
+        n = len(words)
+        self.buffer.nt_store_words(words)
+        stats = self.stats
+        stats.stores += n
+        stats.stored_bytes += 8 * n
+        stats.flushed_lines += n
+
+    def flush_v(self, ranges: Sequence[Tuple[int, int]]) -> None:
+        """Vectorized clwb of (offset, length) ranges."""
+        crash_plan = self.crash_plan
+        buffer = self.buffer
+        tracer = self.tracer
+        lines = 0
+        for offset, length in ranges:
+            if crash_plan is not None:
+                crash_plan.on_event("flush")
+            nlines = buffer.flush(offset, length)
+            lines += nlines
+            if tracer is not None:
+                tracer.io_flush(nlines)
+        self.stats.flushed_lines += lines
 
     def atomic_store_u64(self, offset: int, value: int) -> None:
         if self.crash_plan is not None:

@@ -44,8 +44,8 @@ class IntervalSet:
         return f"IntervalSet({body})"
 
     def total(self) -> int:
-        """Sum of interval lengths."""
-        return sum(e - s for s, e in self)
+        """Sum of interval lengths (no per-interval tuple allocation)."""
+        return sum(self._ends) - sum(self._starts)
 
     def contains(self, point: int) -> bool:
         idx = bisect_right(self._starts, point) - 1
@@ -70,17 +70,30 @@ class IntervalSet:
     def intersect(self, start: int, end: int) -> "IntervalSet":
         """Return the part of this set inside [start, end)."""
         result = IntervalSet()
+        for lo, hi in self.iter_intersect(start, end):
+            result.add(lo, hi)
+        return result
+
+    def iter_intersect(self, start: int, end: int) -> Iterator[Interval]:
+        """Yield the clipped pieces of this set inside [start, end).
+
+        Allocation-free alternative to :meth:`intersect` for hot paths
+        (the store buffer's flush). The set must not be mutated while
+        the generator is being consumed.
+        """
         if start >= end:
-            return result
-        idx = max(0, bisect_right(self._starts, start) - 1)
-        for i in range(idx, len(self._starts)):
-            s, e = self._starts[i], self._ends[i]
+            return
+        starts, ends = self._starts, self._ends
+        idx = max(0, bisect_right(starts, start) - 1)
+        for i in range(idx, len(starts)):
+            s = starts[i]
             if s >= end:
                 break
-            lo, hi = max(s, start), min(e, end)
+            e = ends[i]
+            lo = s if s > start else start
+            hi = e if e < end else end
             if lo < hi:
-                result.add(lo, hi)
-        return result
+                yield lo, hi
 
     # -- mutation --------------------------------------------------------
 

@@ -196,10 +196,15 @@ def run_fio(fs: FileSystem, job: FioJob, filename: str = "fio.dat") -> FioResult
         lock_wait = 0.0
     else:
         streams = [traces for traces in thread_traces]
+        daemon = 0
         if bg_traces:
             streams.append(bg_traces)
+            # A daemon flusher (MGSP async write-back) contends for
+            # channels/locks but its tail does not extend the makespan;
+            # demand-driven drains (libnvmmio pressure relief) do.
+            daemon = 1 if getattr(fs, "bg_daemon", False) else 0
         engine = ReplayEngine(fs.timing)
-        result = engine.run(streams)
+        result = engine.run(streams, background=daemon)
         elapsed = result.makespan_ns
         lock_wait = result.total_lock_wait_ns
 
