@@ -26,7 +26,7 @@ from repro.core.metalog import MetaEntry
 from repro.core.mgsp import MgspFilesystem
 from repro.core.radix import RadixTree
 from repro.core.shadowlog import ShadowLog
-from repro.errors import RecoveryError
+from repro.errors import FileNotFound
 from repro.nvm.device import NvmDevice
 
 
@@ -69,9 +69,15 @@ def recover(
             replayed.append(entry)
             stats.entries_discarded += 1
             continue
-        _replay_entry(fs, trees, entry)
+        if _replay_entry(fs, trees, entry):
+            stats.entries_replayed += 1
+        else:
+            # Entry for a since-unlinked file: its retire word was lost
+            # in the crash but the unlink persisted. Nothing to roll
+            # forward — discard it, and still retire it below so a
+            # re-crashed recovery does not see it again.
+            stats.entries_discarded += 1
         replayed.append(entry)
-        stats.entries_replayed += 1
     # Fence the applied words BEFORE retiring: a crash must never leave
     # a retired entry whose effects were lost.
     device.fence()
@@ -103,11 +109,12 @@ def recover(
     return fs, stats
 
 
-def _replay_entry(fs: MgspFilesystem, trees: Dict[int, RadixTree], entry: MetaEntry) -> None:
+def _replay_entry(fs: MgspFilesystem, trees: Dict[int, RadixTree], entry: MetaEntry) -> bool:
+    """Roll *entry* forward; ``False`` if its file no longer exists."""
     try:
         inode = fs.volume.by_id(entry.file_id)
-    except Exception as exc:  # entry for an unlinked file: nothing to do
-        raise RecoveryError(f"metadata-log entry for unknown file id {entry.file_id}") from exc
+    except FileNotFound:  # entry for an unlinked file: nothing to do
+        return False
     tree = trees.get(inode.id)
     if tree is None:
         tree = RadixTree(fs.device, inode, fs.config)
@@ -133,3 +140,4 @@ def _replay_entry(fs: MgspFilesystem, trees: Dict[int, RadixTree], entry: MetaEn
             word = bitmap.pack_nonleaf(slot.valid, False, entry.gen, entry.gen)
         tree.store_word(node, word)
     tree.gen = max(tree.gen, entry.gen)
+    return True

@@ -1,0 +1,154 @@
+"""``python -m repro.crashsweep`` — the crash-state sweep CLI.
+
+Examples::
+
+    # acceptance sweep: every policy, sync + async configs
+    python -m repro.crashsweep --workload fio-randwrite --budget 500
+
+    # budget-capped CI sweep over every registered workload
+    python -m repro.crashsweep --budget 40 --seed 7
+
+    # replay one reported failure and print its minimized word set
+    python -m repro.crashsweep --workload txn-mixed --configs sync \\
+        --policies random --at 1234 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.nvm.crash import CrashPolicy
+
+from repro.crashsweep.sweep import POLICIES, sweep, sweep_unit
+from repro.crashsweep.workloads import CONFIGS, WORKLOADS
+
+_POLICY_BY_VALUE = {p.value: p for p in CrashPolicy}
+
+
+def _csv(value: str, choices, what: str):
+    names = [v.strip() for v in value.split(",") if v.strip()]
+    for name in names:
+        if name not in choices:
+            raise argparse.ArgumentTypeError(
+                f"unknown {what} {name!r}; choices: {', '.join(sorted(choices))}"
+            )
+    return names
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.crashsweep",
+        description="systematic crash-point sweep + MGSP invariant checker",
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        choices=sorted(WORKLOADS),
+        help="workload(s) to sweep (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--configs",
+        type=lambda v: _csv(v, CONFIGS, "config"),
+        default=sorted(CONFIGS),
+        help="comma-separated config names (default: sync,async)",
+    )
+    parser.add_argument(
+        "--policies",
+        type=lambda v: _csv(v, _POLICY_BY_VALUE, "policy"),
+        default=[p.value for p in POLICIES],
+        help="comma-separated crash policies (default: all three)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="max crash points per (workload, config); sweeps run "
+        "exhaustively below it, stratified-sampled above (default 200)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="sweep seed (default 0)")
+    parser.add_argument(
+        "--at",
+        type=int,
+        default=None,
+        metavar="EVENT",
+        help="sweep exactly one crash index (reproducer mode)",
+    )
+    parser.add_argument(
+        "--no-idempotence",
+        action="store_true",
+        help="skip the second-recovery idempotence check (faster)",
+    )
+    parser.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="report failures without shrinking their persisted-word set",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list workloads and configs, then exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(WORKLOADS):
+            print(f"{name:16s} {WORKLOADS[name].description}")
+        print("configs :", ", ".join(sorted(CONFIGS)))
+        print("policies:", ", ".join(p.value for p in POLICIES))
+        return 0
+
+    policies = [_POLICY_BY_VALUE[name] for name in args.policies]
+    workloads = args.workload or sorted(WORKLOADS)
+    kwargs = dict(
+        policies=policies,
+        budget=args.budget,
+        seed=args.seed,
+        idempotence=not args.no_idempotence,
+        minimize=not args.no_minimize,
+    )
+
+    def progress(workload, config, done, total):
+        print(f"  … {workload}/{config}: {done}/{total} points", flush=True)
+
+    if args.at is not None:
+        units = [
+            sweep_unit(w, c, points=[args.at], **kwargs)
+            for w in workloads
+            for c in args.configs
+        ]
+        from repro.crashsweep.sweep import SweepReport
+
+        report = SweepReport(units=units)
+    else:
+        report = sweep(workloads=workloads, configs=args.configs, progress=progress, **kwargs)
+
+    for unit in report.units:
+        census = unit.census
+        parity = "ok" if census.parity_ok else f"MISMATCH (derived {census.derived})"
+        print(
+            f"{census.workload}/{census.config_name:5s}: events={census.events:<6d} "
+            f"parity={parity} swept={len(unit.points)} "
+            f"images={unit.images_checked} violations={len(unit.failures)}"
+        )
+
+    for failure in report.failures:
+        print(
+            f"\nFAIL {failure.workload}/{failure.config_name} "
+            f"policy={failure.policy.value} crash_after={failure.crash_after} "
+            f"(fired on {failure.fired_kind!r}, seed {failure.seed})"
+        )
+        for violation in failure.violations:
+            print(f"  - {violation}")
+        if failure.minimized_words is not None:
+            print(f"  minimized persisted words: {failure.minimized_words}")
+        print(f"  reproduce: {failure.reproducer}")
+
+    print(
+        f"\nswept {report.points_swept} crash points, checked "
+        f"{report.images_checked} images, {len(report.failures)} violations, "
+        f"{len(report.parity_failures)} parity mismatches"
+    )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,293 @@
+"""Workload registry for the crash-state sweep.
+
+A sweep workload is a *deterministic* driver: it builds a small MGSP
+filesystem, arms a :class:`~repro.nvm.crash.CrashPlan`, and issues a
+fixed (seeded) operation stream while maintaining a byte-level oracle of
+what each file must contain after any crash. Determinism is the whole
+point — the sweep re-runs the same workload once per sampled crash index
+and every run must emit the identical persistence-event sequence.
+
+Every workload runs under each named config in :data:`CONFIGS`:
+``sync`` is the paper's baseline (every write synchronized, logs drained
+at close) and ``async`` arms the PR-2 background write-back scheduler
+with a tiny epoch so checkpoint drains land *between and inside* swept
+ops.
+
+The oracle model: MGSP promises per-operation failure atomicity, so at
+any instant a file's legal post-crash content is "all completed atomic
+ops applied" (``synced``) plus the single in-flight atomic group applied
+all-or-nothing (``pending``). Transactions widen the group to the whole
+write set while ``commit`` is in flight; staged-but-uncommitted
+transaction writes are *not* pending — they must roll back.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core import MgspConfig, MgspFilesystem
+from repro.errors import CrashRequested
+from repro.nvm.crash import CrashPlan
+
+#: Small device: every sampled crash point copies the image several
+#: times (compose, mount, idempotence re-mount), so sweep throughput is
+#: dominated by image size.
+DEVICE_SIZE = 4 << 20
+FILE_CAP = 96 << 10
+
+CONFIGS: Dict[str, Callable[[], MgspConfig]] = {
+    "sync": lambda: MgspConfig(degree=16),
+    "async": lambda: MgspConfig(
+        degree=16, async_writeback=True, writeback_epoch_bytes=16 << 10
+    ),
+}
+
+
+def make_config(name: str) -> MgspConfig:
+    factory = CONFIGS.get(name)
+    if factory is None:
+        raise ValueError(f"unknown sweep config {name!r}; choices: {sorted(CONFIGS)}")
+    return factory()
+
+
+@dataclass
+class FileOracle:
+    """Reference content of one file under per-op failure atomicity."""
+
+    capacity: int
+    synced: bytearray
+    #: the in-flight atomic group; persists all-or-nothing
+    pending: Optional[List[Tuple[int, bytes]]] = None
+
+    def apply_pending(self) -> None:
+        for off, payload in self.pending or ():
+            self.synced[off : off + len(payload)] = payload
+        self.pending = None
+
+    def legal_states(self) -> Set[bytes]:
+        states = {bytes(self.synced)}
+        if self.pending:
+            new = bytearray(self.synced)
+            for off, payload in self.pending:
+                new[off : off + len(payload)] = payload
+            states.add(bytes(new))
+        return states
+
+
+@dataclass
+class RunOutcome:
+    """One workload execution, crashed or complete."""
+
+    fs: MgspFilesystem
+    config_name: str
+    oracles: Dict[str, FileOracle]
+    crashed: bool
+    plan: Optional[CrashPlan]
+    #: DeviceStats snapshot taken when the plan was armed — the census
+    #: derives the crash-point count from the delta since this point.
+    stats_base: object
+
+
+class SweepWorkload:
+    """Base driver: subclasses define :meth:`setup` and :meth:`body`."""
+
+    name: str = "?"
+    description: str = ""
+
+    def setup(self, fs: MgspFilesystem) -> dict:
+        """Create files/handles; runs *before* the crash plan is armed."""
+        raise NotImplementedError
+
+    def body(self, fs: MgspFilesystem, state: dict) -> None:
+        """The swept operation stream; every persistence event in here
+        is a crash point."""
+        raise NotImplementedError
+
+    def oracles(self, state: dict) -> Dict[str, FileOracle]:
+        return state.get("oracles", {})
+
+    def run(
+        self, config_name: str, plan: Optional[CrashPlan] = None
+    ) -> RunOutcome:
+        fs = MgspFilesystem(device_size=DEVICE_SIZE, config=make_config(config_name))
+        state = self.setup(fs)
+        fs.device.drain()
+        stats_base = fs.device.stats.snapshot()
+        fs.device.crash_plan = plan
+        crashed = False
+        try:
+            self.body(fs, state)
+        except CrashRequested:
+            crashed = True
+        return RunOutcome(
+            fs=fs,
+            config_name=config_name,
+            oracles=self.oracles(state),
+            crashed=crashed,
+            plan=plan,
+            stats_base=stats_base,
+        )
+
+
+class FioSweepWorkload(SweepWorkload):
+    """Single-file write stream mirroring the FIO job surface
+    (``op``/``bs``-mix/``fsync`` cadence) at sweep scale."""
+
+    def __init__(
+        self,
+        name: str,
+        op: str = "randwrite",
+        nops: int = 300,
+        fsync_every: int = 4,
+        seed: int = 0xF10,
+    ) -> None:
+        self.name = name
+        self.op = op
+        self.nops = nops
+        self.fsync_every = fsync_every
+        self.seed = seed
+        self.description = f"{op}, {nops} ops, fsync every {fsync_every}"
+
+    def setup(self, fs: MgspFilesystem) -> dict:
+        handle = fs.create("f", capacity=FILE_CAP)
+        oracle = FileOracle(FILE_CAP, bytearray(FILE_CAP))
+        return {"handle": handle, "oracles": {"f": oracle}}
+
+    def body(self, fs: MgspFilesystem, state: dict) -> None:
+        handle = state["handle"]
+        oracle = state["oracles"]["f"]
+        rng = random.Random(self.seed)
+        sizes = (64, 512, 2048, 4096)
+        span = FILE_CAP - max(sizes)
+        pos = 0
+        for i in range(self.nops):
+            size = sizes[rng.randrange(len(sizes))]
+            if self.op == "randwrite":
+                off = rng.randrange(0, span)
+            else:
+                off = pos
+                pos = (pos + size) % span
+            payload = bytes([1 + i % 250]) * size
+            oracle.pending = [(off, payload)]
+            handle.write(off, payload)
+            oracle.apply_pending()
+            if self.fsync_every and (i + 1) % self.fsync_every == 0:
+                handle.fsync()
+
+
+class TxnSweepWorkload(SweepWorkload):
+    """Plain writes interleaved with multi-write transactions: staged
+    writes must roll back, committed groups must appear atomically."""
+
+    name = "txn-mixed"
+    description = "plain writes + 2-3-write transactions (commit and rollback)"
+
+    def __init__(self, rounds: int = 45, seed: int = 0x7A7) -> None:
+        self.rounds = rounds
+        self.seed = seed
+
+    def setup(self, fs: MgspFilesystem) -> dict:
+        handle = fs.create("t", capacity=FILE_CAP)
+        oracle = FileOracle(FILE_CAP, bytearray(FILE_CAP))
+        return {"handle": handle, "oracles": {"t": oracle}}
+
+    def body(self, fs: MgspFilesystem, state: dict) -> None:
+        handle = state["handle"]
+        oracle = state["oracles"]["t"]
+        rng = random.Random(self.seed)
+        span = FILE_CAP - 4096
+        for i in range(self.rounds):
+            # One plain synchronized write.
+            off = rng.randrange(0, span)
+            payload = bytes([1 + i % 250]) * rng.choice([256, 1024])
+            oracle.pending = [(off, payload)]
+            handle.write(off, payload)
+            oracle.apply_pending()
+
+            # One transaction; every 5th one rolls back instead.
+            group = [
+                (rng.randrange(0, span), bytes([10 + i % 200]) * rng.choice([128, 768]))
+                for _ in range(2 + i % 2)
+            ]
+            txn = fs.begin_transaction(handle)
+            for t_off, t_payload in group:
+                # Staged, not pending: a crash here must revert the group.
+                txn.write(t_off, t_payload)
+            if i % 5 == 4:
+                txn.rollback()
+            else:
+                oracle.pending = group
+                txn.commit()
+                oracle.apply_pending()
+
+
+class YcsbSweepWorkload(SweepWorkload):
+    """YCSB-A-style update-heavy mix through the embedded database.
+
+    The DB's own WAL defines its content semantics, so this workload
+    carries no byte-level oracle — the sweep still proves the MGSP layer
+    recovers (structural invariants + recovery idempotence) under
+    key-value traffic with its many small co-located writes.
+    """
+
+    name = "ycsb-a"
+    description = "update-heavy KV mix via the embedded DB (structural checks)"
+
+    def __init__(
+        self, records: int = 60, operations: int = 60, seed: int = 0x4C5B
+    ) -> None:
+        self.records = records
+        self.operations = operations
+        self.seed = seed
+
+    def setup(self, fs: MgspFilesystem) -> dict:
+        from repro.db import Database
+
+        db = Database(
+            fs,
+            name="ycsb.db",
+            journal_mode="wal",
+            capacity=640 << 10,
+            wal_capacity=512 << 10,
+            checkpoint_limit=96 << 10,
+        )
+        table = db.create_table("usertable")
+        payload = "v" * 24
+        for key in range(self.records):
+            table.insert((key,), (payload,))
+        return {"db": db, "table": table, "oracles": {}}
+
+    def body(self, fs: MgspFilesystem, state: dict) -> None:
+        table = state["table"]
+        rng = random.Random(self.seed)
+        next_insert = self.records
+        for step in range(self.operations):
+            pick = rng.random()
+            key = rng.randrange(self.records)
+            if pick < 0.45:
+                table.get((key,))
+            elif pick < 0.9:
+                table.update((key,), ("u" * 24 + str(step),))
+            else:
+                table.insert((next_insert,), ("n" * 24,))
+                next_insert += 1
+
+
+WORKLOADS: Dict[str, SweepWorkload] = {
+    w.name: w
+    for w in (
+        FioSweepWorkload("fio-randwrite", op="randwrite"),
+        FioSweepWorkload("fio-write", op="write", fsync_every=8, seed=0xF11),
+        TxnSweepWorkload(),
+        YcsbSweepWorkload(),
+    )
+}
+
+
+def get_workload(name: str) -> SweepWorkload:
+    workload = WORKLOADS.get(name)
+    if workload is None:
+        raise ValueError(f"unknown workload {name!r}; choices: {sorted(WORKLOADS)}")
+    return workload

@@ -23,7 +23,7 @@ def describe_device(device) -> str:
         f"device {device.name}: {fmt_size(device.size)}",
         f"  stores        : {stats.stores:,} ({stats.stored_bytes:,} bytes)",
         f"  loads         : {stats.loads:,} ({stats.loaded_bytes:,} bytes)",
-        f"  flushed lines : {stats.flushed_lines:,}",
+        f"  flushed lines : {stats.flushed_lines:,} ({stats.flush_calls:,} calls)",
         f"  fences        : {stats.fences:,}",
         f"  dirty ranges  : {len(device.buffer.dirty)}",
         f"  pending ranges: {len(device.buffer.pending_set())}",

@@ -16,7 +16,13 @@ instructions the paper runs on. The model:
 
 from repro.nvm.allocator import LogAllocator
 from repro.nvm.cache import StoreBuffer
-from repro.nvm.crash import CrashPlan, CrashPolicy
+from repro.nvm.crash import (
+    CrashPlan,
+    CrashPolicy,
+    compose_image,
+    count_events,
+    counting_plan,
+)
 from repro.nvm.device import DeviceStats, NvmDevice
 from repro.nvm.intervals import IntervalSet
 from repro.nvm.timing import OptaneTiming, TimingModel
@@ -31,4 +37,7 @@ __all__ = [
     "OptaneTiming",
     "StoreBuffer",
     "TimingModel",
+    "compose_image",
+    "count_events",
+    "counting_plan",
 ]

@@ -22,7 +22,7 @@ word list is additionally memoized until the next mutation.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 from repro.errors import OutOfRangeError, TornWriteError
 from repro.nvm.intervals import IntervalSet
@@ -34,6 +34,16 @@ from repro.util import ATOMIC_UNIT, CACHE_LINE
 _LINE = CACHE_LINE
 _LINE_MASK = -CACHE_LINE
 _WORD_MASK = -ATOMIC_UNIT
+
+
+def choose_persist_words(
+    candidates: Sequence[int], rng: random.Random, persist_probability: float
+) -> List[int]:
+    """The word subset a random crash persists: each candidate flips the
+    given rng's coin, *in candidate order*. Kept as a standalone function
+    so crash-image composition and the crash-sweep minimizer derive the
+    identical subset from the same seed."""
+    return [w for w in candidates if rng.random() < persist_probability]
 
 
 class StoreBuffer:
@@ -294,7 +304,7 @@ class StoreBuffer:
                 raise OutOfRangeError(f"words {sorted(unknown)} are not unfenced")
         else:
             rng = rng or random.Random()
-            chosen = {w for w in candidates if rng.random() < persist_probability}
+            chosen = choose_persist_words(candidates, rng, persist_probability)
         for off in chosen:
             image[off : off + 8] = self.working[off : off + 8]
         return image

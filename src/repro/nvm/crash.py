@@ -4,11 +4,25 @@ A :class:`CrashPlan` attached to a device counts persistence events
 (stores, flushes, fences) and raises :class:`~repro.errors.CrashRequested`
 when the configured event index is reached. Tests catch the exception,
 compose a crash image, and run recovery against it.
+
+:func:`count_events` enumerates the crash points a workload exposes and
+is exact: it is derived from the same per-call counters the plan's
+``on_event`` hook fires in (``stores``/``flush_calls``/``fences``), so a
+sweep over ``crash_after in range(count_events(...))`` visits every
+event once — including the events emitted per element inside the
+vectorized ``store_v``/``nt_store_v``/``flush_v``/``store_word_v``
+device entry points.
+
+:func:`compose_image` turns a crashed device plus a :class:`CrashPolicy`
+into a concrete post-crash image. ``RANDOM`` composition is driven by an
+explicit seed so any sampled image can be reproduced exactly from the
+``(workload, crash_after, policy, seed)`` tuple a sweep reports.
 """
 
 from __future__ import annotations
 
 import enum
+import random
 from typing import Optional, Set
 
 from repro.errors import CrashRequested
@@ -36,6 +50,7 @@ class CrashPlan:
         self.kinds = kinds or {"store", "flush", "fence"}
         self.count = 0
         self.fired = False
+        self.fired_kind: Optional[str] = None
 
     def on_event(self, kind: str) -> None:
         if self.fired or kind not in self.kinds:
@@ -43,20 +58,58 @@ class CrashPlan:
         self.count += 1
         if self.count > self.crash_after:
             self.fired = True
+            self.fired_kind = kind
             raise CrashRequested(f"crash injected after {self.crash_after} events")
 
 
-def count_events(device, kinds: Optional[Set[str]] = None) -> int:
-    """Number of persistence events a workload would generate, derived
-    from the device's counters; used to enumerate crash points."""
+#: A plan that counts every event but never fires: attach it during a
+#: census run so the workload takes the *same* device code paths as an
+#: armed run (some batched entry points specialize on ``crash_plan is
+#: None``) while ``plan.count`` records the exact number of crash points.
+def counting_plan(kinds: Optional[Set[str]] = None) -> CrashPlan:
+    return CrashPlan(crash_after=(1 << 62), kinds=kinds)
+
+
+def count_events(device, kinds: Optional[Set[str]] = None, since=None) -> int:
+    """Number of persistence events a workload generated, derived from
+    the device's counters; used to enumerate crash points.
+
+    ``flush`` events are counted with ``stats.flush_calls`` — one per
+    clwb *call*, exactly how :meth:`CrashPlan.on_event` fires (the old
+    ``flushed_lines`` proxy over- or under-counted whenever a flush
+    covered several lines or hit only clean ones). With ``since`` (a
+    ``DeviceStats`` snapshot) only events after the snapshot count.
+    """
     kinds = kinds or {"store", "flush", "fence"}
+    stats = device.stats if since is None else device.stats.delta(since)
     total = 0
     if "store" in kinds:
-        total += device.stats.stores
+        total += stats.stores
     if "flush" in kinds:
-        # Count flush *calls* at line granularity is not tracked; use
-        # flushed_lines as an upper bound proxy.
-        total += device.stats.flushed_lines
+        total += stats.flush_calls
     if "fence" in kinds:
-        total += device.stats.fences
+        total += stats.fences
     return total
+
+
+def compose_image(
+    device,
+    policy: CrashPolicy,
+    seed: int = 0,
+    persist_probability: float = 0.5,
+) -> bytes:
+    """Compose the post-crash image of *device* under *policy*.
+
+    ``RANDOM`` uses ``random.Random(seed)`` — never ambient randomness —
+    so the image is a pure function of (device state, policy, seed) and
+    a failing sweep sample can be replayed from its reported seed.
+    """
+    if policy is CrashPolicy.DROP_ALL:
+        return bytes(device.crash_image(persist_words=()))
+    if policy is CrashPolicy.KEEP_ALL:
+        return bytes(device.crash_image(persist_words=device.unfenced_words()))
+    return bytes(
+        device.crash_image(
+            rng=random.Random(seed), persist_probability=persist_probability
+        )
+    )

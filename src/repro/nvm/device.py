@@ -23,6 +23,10 @@ class DeviceStats:
     stored_bytes: int = 0
     loaded_bytes: int = 0
     flushed_lines: int = 0
+    #: clwb *calls* (one per flushed range, even when every covered line
+    #: is clean) — the unit :meth:`CrashPlan.on_event` fires in, unlike
+    #: ``flushed_lines`` which is a cost metric.
+    flush_calls: int = 0
     fences: int = 0
     stores: int = 0
     loads: int = 0
@@ -35,6 +39,7 @@ class DeviceStats:
             stored_bytes=self.stored_bytes - since.stored_bytes,
             loaded_bytes=self.loaded_bytes - since.loaded_bytes,
             flushed_lines=self.flushed_lines - since.flushed_lines,
+            flush_calls=self.flush_calls - since.flush_calls,
             fences=self.fences - since.fences,
             stores=self.stores - since.stores,
             loads=self.loads - since.loads,
@@ -94,6 +99,9 @@ class NvmDevice:
     # event, and one tracer segment), so DeviceStats, trace costs, and
     # crash-point enumeration are byte-for-byte identical to a loop of
     # single-op calls — the batching only removes interpreter overhead.
+    # Batch totals are committed in ``finally`` blocks so that a
+    # CrashRequested fired *inside* a batch leaves the counters exactly
+    # where the equivalent unbatched sequence would.
 
     def store_v(self, writes: Sequence[Tuple[int, bytes]]) -> None:
         """Vectorized cached store of (offset, data) pairs."""
@@ -102,15 +110,17 @@ class NvmDevice:
         stats = self.stats
         tracer = self.tracer
         total = 0
-        for offset, data in writes:
-            if crash_plan is not None:
-                crash_plan.on_event("store")
-            buffer.store(offset, data)
-            stats.stores += 1
-            total += len(data)
-            if tracer is not None:
-                tracer.io_cached(len(data))
-        stats.stored_bytes += total
+        try:
+            for offset, data in writes:
+                if crash_plan is not None:
+                    crash_plan.on_event("store")
+                buffer.store(offset, data)
+                stats.stores += 1
+                total += len(data)
+                if tracer is not None:
+                    tracer.io_cached(len(data))
+        finally:
+            stats.stored_bytes += total
 
     def nt_store_v(self, writes: Sequence[Tuple[int, bytes]]) -> None:
         """Vectorized non-temporal store of (offset, data) pairs."""
@@ -120,16 +130,18 @@ class NvmDevice:
         tracer = self.tracer
         total = 0
         lines = 0
-        for offset, data in writes:
-            if crash_plan is not None:
-                crash_plan.on_event("store")
-            lines += buffer.nt_store(offset, data)
-            stats.stores += 1
-            total += len(data)
-            if tracer is not None:
-                tracer.io_write(len(data))
-        stats.stored_bytes += total
-        stats.flushed_lines += lines
+        try:
+            for offset, data in writes:
+                if crash_plan is not None:
+                    crash_plan.on_event("store")
+                lines += buffer.nt_store(offset, data)
+                stats.stores += 1
+                total += len(data)
+                if tracer is not None:
+                    tracer.io_write(len(data))
+        finally:
+            stats.stored_bytes += total
+            stats.flushed_lines += lines
 
     def store_word_v(self, words: Sequence[Tuple[int, int]]) -> None:
         """Vectorized ``atomic_store_u64 + flush`` of (offset, value)
@@ -154,21 +166,28 @@ class NvmDevice:
         stats.stores += n
         stats.stored_bytes += 8 * n
         stats.flushed_lines += n
+        stats.flush_calls += n
 
     def flush_v(self, ranges: Sequence[Tuple[int, int]]) -> None:
         """Vectorized clwb of (offset, length) ranges."""
         crash_plan = self.crash_plan
         buffer = self.buffer
+        stats = self.stats
         tracer = self.tracer
         lines = 0
-        for offset, length in ranges:
-            if crash_plan is not None:
-                crash_plan.on_event("flush")
-            nlines = buffer.flush(offset, length)
-            lines += nlines
-            if tracer is not None:
-                tracer.io_flush(nlines)
-        self.stats.flushed_lines += lines
+        calls = 0
+        try:
+            for offset, length in ranges:
+                if crash_plan is not None:
+                    crash_plan.on_event("flush")
+                nlines = buffer.flush(offset, length)
+                lines += nlines
+                calls += 1
+                if tracer is not None:
+                    tracer.io_flush(nlines)
+        finally:
+            stats.flushed_lines += lines
+            stats.flush_calls += calls
 
     def atomic_store_u64(self, offset: int, value: int) -> None:
         if self.crash_plan is not None:
@@ -193,6 +212,7 @@ class NvmDevice:
     def flush(self, offset: int, length: int) -> None:
         if self.crash_plan is not None:
             self.crash_plan.on_event("flush")
+        self.stats.flush_calls += 1
         nlines = self.buffer.flush(offset, length)
         self.stats.flushed_lines += nlines
         if self.tracer is not None:
