@@ -1,0 +1,111 @@
+"""CLI: replay a workload (or a corpus program) under the analyzer.
+
+Examples::
+
+    python -m repro.analysis --workload fio --config mgsp-sync
+    python -m repro.analysis --workload txn --config mgsp-async --budget 20000
+    python -m repro.analysis --program tests/analysis_corpus/torn_multiword.py
+    python -m repro.analysis --corpus tests/analysis_corpus
+
+Exit status: workload mode fails (1) on *error*-severity findings —
+perf diagnostics (redundant flush/fence) are reported but informational
+unless ``--strict`` promotes them. Program/corpus mode fails on any
+finding at all (the corpus is a violation suite; its ``clean/`` twins
+must produce zero findings of any severity).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.harness import run_program, run_workload
+
+
+def _run_one_program(path: str) -> int:
+    findings, expect = run_program(path)
+    print(f"program {path}: {len(findings)} finding(s); EXPECT={expect}")
+    for finding in findings:
+        print("  " + finding.format())
+    if expect:
+        missing = [rule for rule in expect if rule not in {f.rule for f in findings}]
+        if missing:
+            print(f"  MISSING expected rule(s): {missing}")
+            return 2
+    return 1 if findings else 0
+
+
+def _run_corpus(directory: str) -> int:
+    """Violating programs at the top level must trip their EXPECT rules;
+    everything under ``clean/`` must produce zero findings."""
+    status = 0
+    top = sorted(
+        f for f in os.listdir(directory) if f.endswith(".py") and f != "__init__.py"
+    )
+    for name in top:
+        rc = _run_one_program(os.path.join(directory, name))
+        if rc != 1:  # violating programs are *supposed* to exit 1
+            print(f"  UNEXPECTED: {name} exited {rc} (wanted findings matching EXPECT)")
+            status = 2
+    clean_dir = os.path.join(directory, "clean")
+    if os.path.isdir(clean_dir):
+        for name in sorted(f for f in os.listdir(clean_dir) if f.endswith(".py")):
+            rc = _run_one_program(os.path.join(clean_dir, name))
+            if rc != 0:
+                print(f"  UNEXPECTED: clean/{name} produced findings")
+                status = 2
+    return status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="persistence-order trace analysis",
+    )
+    parser.add_argument(
+        "--workload",
+        help="crash-sweep workload name or alias (fio, txn, ycsb, fio-write, ...)",
+    )
+    parser.add_argument(
+        "--config",
+        default="mgsp-sync",
+        help="config name or alias (mgsp-sync, mgsp-async, sync, async)",
+    )
+    parser.add_argument("--program", help="run one violation-corpus program")
+    parser.add_argument("--corpus", help="run a whole corpus directory (self-test)")
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="stop analyzing after N persistence events (CI cap)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="workload mode: fail on perf diagnostics too",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="seed quoted in reproducer lines")
+    args = parser.parse_args(argv)
+
+    if args.program:
+        return _run_one_program(args.program)
+    if args.corpus:
+        return _run_corpus(args.corpus)
+    if not args.workload:
+        parser.error("one of --workload, --program, --corpus is required")
+
+    report = run_workload(
+        args.workload,
+        args.config,
+        max_events=args.budget,
+        seed=args.seed,
+    )
+    print(report.format())
+    failing: List = report.findings if args.strict else report.errors
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,361 @@
+"""Persistence-order trace analyzer (the dynamic half of ``repro.analysis``).
+
+WITCHER-style: instead of *executing* crash states like the PR-3 sweep,
+the analyzer observes the live store/flush/fence stream through the
+device's ``analysis_tap`` and checks the MGSP ordering protocol as an
+invariant over that stream. Event indices count exactly like the crash
+sweep's enumeration (one event per store / clwb call / fence, per
+element inside the vectorized ``_v`` entry points), so every finding can
+name the ``--at`` index a ``repro.crashsweep`` reproducer would crash
+at.
+
+Rules
+-----
+``commit-before-data`` (error)
+    A fence is about to make a metadata-log commit entry durable while
+    data the entry guards is still volatile: some non-metalog line is
+    dirty, or pending from a store *older* than the commit store (i.e.
+    the data fence that should precede the commit point is missing — a
+    crash could persist the checksummed commit entry via eviction while
+    the guarded bytes are lost).
+``torn-multiword`` (error)
+    Multi-word metadata (node tables, metalog) written with a plain
+    cached store instead of ``atomic_store_u64`` / a non-temporal +
+    fence sequence: words of the update can persist independently.
+``unfenced-at-boundary`` (error)
+    Dirty (stored-but-unflushed) lines alive when an operation returns,
+    outside the async write-back config. The metadata-log region is
+    exempt: MGSP's entry retire is deliberately unfenced (replay is
+    idempotent) and leaves exactly one dirty metalog line per op.
+``redundant-flush`` (perf)
+    A clwb call that covered only clean lines.
+``redundant-fence`` (perf)
+    A fence issued with nothing pending. Note MGSP's ``fsync`` is *by
+    design* such a fence (every write is already synchronized), so
+    workload reports treat perf findings as diagnostics, not failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.fsapi.layout import VolumeLayout
+from repro.util import CACHE_LINE
+
+ERROR = "error"
+PERF = "perf"
+
+#: rule id -> (severity, one-line description)
+RULES: Dict[str, Tuple[str, str]] = {
+    "commit-before-data": (
+        ERROR,
+        "commit/metalog entry becomes durable while guarded data is volatile",
+    ),
+    "torn-multiword": (
+        ERROR,
+        "multi-word metadata written with a plain (tearable) cached store",
+    ),
+    "unfenced-at-boundary": (
+        ERROR,
+        "dirty lines alive across an op boundary outside async write-back",
+    ),
+    "redundant-flush": (PERF, "clwb call that covered only clean lines"),
+    "redundant-fence": (PERF, "fence issued with nothing pending"),
+}
+
+#: regions where multi-word metadata must use atomic / fenced stores
+_TORN_REGIONS = frozenset({"node_tables", "metalog"})
+
+
+@dataclass
+class Finding:
+    """One rule violation, anchored to a persistence-event index."""
+
+    rule: str
+    severity: str
+    event_index: int  # 0-based: ``--at event_index`` crashes just before it
+    message: str
+    op: Optional[str] = None  # op open when the event fired, if any
+
+    def format(self, reproducer: Optional[str] = None) -> str:
+        where = f" [op={self.op}]" if self.op else ""
+        line = f"{self.severity.upper():5s} {self.rule} @ event {self.event_index}{where}: {self.message}"
+        if reproducer:
+            line += f"\n      reproduce: {reproducer}"
+        return line
+
+
+class RegionMap:
+    """Classify device offsets into volume-layout regions."""
+
+    #: layout attributes, in device order
+    NAMES = ("superblock", "metalog", "node_tables", "journal", "log_area", "data_area")
+
+    def __init__(self, layout: VolumeLayout) -> None:
+        self.layout = layout
+        self._spans = [
+            (getattr(layout, name).start, getattr(layout, name).end, name)
+            for name in self.NAMES
+        ]
+
+    @classmethod
+    def from_layout(cls, layout: VolumeLayout) -> "RegionMap":
+        return cls(layout)
+
+    @classmethod
+    def for_device(cls, device_size: int, **kwargs) -> "RegionMap":
+        return cls(VolumeLayout.for_device(device_size, **kwargs))
+
+    def classify(self, offset: int) -> str:
+        for start, end, name in self._spans:
+            if start <= offset < end:
+                return name
+        return "unmapped"
+
+
+# line-state slots (lists, mutated in place): [state, store_idx, is_commit]
+_DIRTY = 0  # stored, not flushed
+_PENDING = 1  # flushed (or nt-stored), not fenced
+
+
+class TraceAnalyzer:
+    """The ``analysis_tap`` observer: mirrors line state at cache-line
+    granularity and checks the ordering rules online.
+
+    Attach with :func:`repro.analysis.harness.attach_analyzer` (or set
+    ``device.analysis_tap`` by hand and feed op boundaries through
+    :class:`AnalysisRecorder`). ``on_drain`` resets both line state and
+    the event counter — aligned with the sweep's drain-then-arm
+    sequence, so reported indices match ``--at`` reproducer indices.
+    """
+
+    def __init__(
+        self,
+        regions: RegionMap,
+        device=None,
+        async_writeback: bool = False,
+        perf: bool = True,
+        max_events: Optional[int] = None,
+    ) -> None:
+        self.regions = regions
+        self.device = device
+        self.async_writeback = async_writeback
+        self.perf = perf
+        self.max_events = max_events
+        self.findings: List[Finding] = []
+        self.event_index = 0
+        self.saturated = False  # hit max_events; stopped analyzing
+        self._lines: Dict[int, list] = {}  # line -> [state, store_idx, commit]
+        self._op: Optional[str] = None
+        self._boundary_reported: Set[int] = set()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def perf_findings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == PERF]
+
+    def _crashed(self) -> bool:
+        plan = getattr(self.device, "crash_plan", None)
+        return plan is not None and plan.fired
+
+    def _next_index(self) -> Optional[int]:
+        """Consume one event index; None once past the analysis budget."""
+        idx = self.event_index
+        self.event_index += 1
+        if self.max_events is not None and idx >= self.max_events:
+            if not self.saturated:
+                self.saturated = True
+                self._lines.clear()
+            return None
+        return idx
+
+    def _report(self, rule: str, idx: int, message: str) -> None:
+        severity = RULES[rule][0]
+        if severity == PERF and not self.perf:
+            return
+        self.findings.append(
+            Finding(rule=rule, severity=severity, event_index=idx, message=message, op=self._op)
+        )
+
+    # -- device tap --------------------------------------------------------
+
+    def on_store(self, offset: int, length: int, kind: str) -> None:
+        idx = self._next_index()
+        if idx is None:
+            return
+        region = self.regions.classify(offset)
+        if kind == "store" and length > 8 and region in _TORN_REGIONS:
+            self._report(
+                "torn-multiword",
+                idx,
+                f"plain {length}-byte store at offset {offset} in {region}; "
+                "words may persist independently — use atomic_store_u64 or "
+                "an nt_store + fence sequence",
+            )
+        state = _PENDING if kind == "nt" else _DIRTY
+        is_commit = region == "metalog" and length > 8
+        lines = self._lines
+        for line in range(offset // CACHE_LINE, (offset + length - 1) // CACHE_LINE + 1):
+            lines[line] = [state, idx, is_commit]
+
+    def on_flush(self, offset: int, length: int, nlines: int) -> None:
+        idx = self._next_index()
+        if idx is None:
+            return
+        if nlines == 0:
+            self._report(
+                "redundant-flush",
+                idx,
+                f"clwb of [{offset}, {offset + length}) covered no dirty line",
+            )
+        lines = self._lines
+        for line in range(offset // CACHE_LINE, (offset + length - 1) // CACHE_LINE + 1):
+            st = lines.get(line)
+            if st is not None and st[0] == _DIRTY:
+                st[0] = _PENDING
+
+    def on_fence(self) -> None:
+        idx = self._next_index()
+        if idx is None:
+            return
+        lines = self._lines
+        pending = [(line, st) for line, st in lines.items() if st[0] == _PENDING]
+        if not pending:
+            self._report("redundant-fence", idx, "fence with nothing pending")
+        commits = [(line, st) for line, st in pending if st[2]]
+        if commits:
+            commit_idx = min(st[1] for _, st in commits)
+            offenders = []
+            for line, st in lines.items():
+                if st[2] or self.regions.classify(line * CACHE_LINE) == "metalog":
+                    continue
+                if st[0] == _DIRTY or st[1] < commit_idx:
+                    offenders.append((line, st))
+            if offenders:
+                worst = min(off_st[1] for _, off_st in offenders)
+                dirty_n = sum(1 for _, st in offenders if st[0] == _DIRTY)
+                self._report(
+                    "commit-before-data",
+                    idx,
+                    f"fence makes commit entry (store event {commit_idx}) durable "
+                    f"while {len(offenders)} guarded line(s) are volatile "
+                    f"({dirty_n} dirty; earliest guarded store at event {worst}) — "
+                    "the data fence before the commit point is missing",
+                )
+        for line, _ in pending:
+            del lines[line]
+
+    def on_drain(self) -> None:
+        self._lines.clear()
+        self._boundary_reported.clear()
+        self.event_index = 0
+        self.saturated = False
+
+    # -- op boundaries (fed by AnalysisRecorder) ---------------------------
+
+    def on_op_begin(self, name: str) -> None:
+        self._op = name
+
+    def on_op_end(self, name: str) -> None:
+        self._op = name  # boundary findings anchor to the op that just ended
+        try:
+            self._check_boundary(name)
+        finally:
+            self._op = None
+
+    def _check_boundary(self, name: str) -> None:
+        if self.async_writeback or self.saturated or self._crashed():
+            return
+        classify = self.regions.classify
+        fresh = [
+            line
+            for line, st in self._lines.items()
+            if st[0] == _DIRTY
+            and line not in self._boundary_reported
+            and classify(line * CACHE_LINE) != "metalog"
+        ]
+        if fresh:
+            self._boundary_reported.update(fresh)
+            offsets = sorted(line * CACHE_LINE for line in fresh)
+            shown = ", ".join(str(o) for o in offsets[:4])
+            more = f" (+{len(offsets) - 4} more)" if len(offsets) > 4 else ""
+            self._report(
+                "unfenced-at-boundary",
+                self.event_index,
+                f"op {name!r} returned with {len(fresh)} dirty line(s) at "
+                f"offset(s) {shown}{more} and async write-back is off",
+            )
+
+
+class AnalysisRecorder:
+    """Wrap any :class:`repro.sim.trace.Recorder` and feed op boundaries
+    to the analyzer; everything else forwards to the wrapped recorder.
+
+    Both ``TraceRecorder`` and ``NullRecorder`` satisfy the formal
+    ``Recorder`` protocol, so no isinstance checks are needed — the
+    wrapper is itself a conforming ``Recorder``.
+    """
+
+    def __init__(self, inner, analyzer: TraceAnalyzer) -> None:
+        self.inner = inner
+        self.analyzer = analyzer
+
+    @property
+    def timing(self):
+        return self.inner.timing
+
+    @property
+    def enabled(self) -> bool:
+        return self.inner.enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self.inner.enabled = value
+
+    # -- op lifecycle ------------------------------------------------------
+
+    def begin_op(self, name: str) -> None:
+        self.analyzer.on_op_begin(name)
+        self.inner.begin_op(name)
+
+    def end_op(self):
+        trace = self.inner.end_op()
+        self.analyzer.on_op_end(trace.name)
+        return trace
+
+    def take_completed(self):
+        return self.inner.take_completed()
+
+    # -- explicit costs ----------------------------------------------------
+
+    def compute(self, ns: float) -> None:
+        self.inner.compute(ns)
+
+    def lock(self, key, mode) -> None:
+        self.inner.lock(key, mode)
+
+    def unlock(self, key) -> None:
+        self.inner.unlock(key)
+
+    # -- device tracer interface -------------------------------------------
+
+    def io_write(self, nbytes: int) -> None:
+        self.inner.io_write(nbytes)
+
+    def io_cached(self, nbytes: int) -> None:
+        self.inner.io_cached(nbytes)
+
+    def io_read(self, nbytes: int) -> None:
+        self.inner.io_read(nbytes)
+
+    def io_flush(self, nlines: int) -> None:
+        self.inner.io_flush(nlines)
+
+    def io_fence(self) -> None:
+        self.inner.io_fence()

@@ -1,0 +1,203 @@
+"""Attach the analyzer to live systems and replay workloads/programs.
+
+Two entry paths:
+
+- :func:`run_workload` replays a deterministic ``repro.crashsweep``
+  workload with the tap attached and returns an :class:`AnalysisReport`
+  whose event indices line up with the sweep's crash-point enumeration
+  (verified against :func:`repro.nvm.crash.count_events` parity).
+- :func:`run_program` executes one violation-corpus program (a ``.py``
+  file with a ``run(ctx)`` function and an ``EXPECT`` rule list) against
+  a bare device — the self-test substrate under ``tests/analysis_corpus``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.analyzer import AnalysisRecorder, Finding, RegionMap, TraceAnalyzer
+from repro.nvm.crash import count_events
+from repro.nvm.device import NvmDevice
+
+#: CLI-friendly aliases -> registry names
+WORKLOAD_ALIASES: Dict[str, str] = {
+    "fio": "fio-randwrite",
+    "txn": "txn-mixed",
+    "ycsb": "ycsb-a",
+}
+CONFIG_ALIASES: Dict[str, str] = {
+    "mgsp-sync": "sync",
+    "mgsp-async": "async",
+}
+
+
+def resolve_workload(name: str) -> str:
+    return WORKLOAD_ALIASES.get(name, name)
+
+
+def resolve_config(name: str) -> str:
+    return CONFIG_ALIASES.get(name, name)
+
+
+def attach_analyzer(
+    fs, perf: bool = True, max_events: Optional[int] = None
+) -> TraceAnalyzer:
+    """Instrument a mounted filesystem: tap the device and wrap the
+    recorder so op boundaries reach the analyzer. Returns the analyzer
+    (its ``findings`` accumulate for the life of the mount)."""
+    analyzer = TraceAnalyzer(
+        regions=RegionMap.from_layout(fs.volume.layout),
+        device=fs.device,
+        async_writeback=bool(getattr(fs.config, "async_writeback", False)),
+        perf=perf,
+        max_events=max_events,
+    )
+    fs.device.analysis_tap = analyzer
+    fs.recorder = AnalysisRecorder(fs.recorder, analyzer)
+    return analyzer
+
+
+@dataclass
+class AnalysisReport:
+    """One analyzed workload replay."""
+
+    workload: str
+    config_name: str
+    findings: List[Finding]
+    events: int  # persistence events analyzed (crash-point count)
+    parity_ok: bool  # tap event count == DeviceStats-derived count
+    saturated: bool = False  # analysis stopped at --budget
+    seed: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def reproducer(self, finding: Finding) -> str:
+        return (
+            f"python -m repro.crashsweep --workload {self.workload}"
+            f" --configs {self.config_name} --policies keep_all"
+            f" --at {finding.event_index} --seed {self.seed}"
+        )
+
+    def format(self, detail_limit: int = 10) -> str:
+        lines = [
+            f"analysis: workload={self.workload} config={self.config_name} "
+            f"events={self.events} findings={len(self.findings)} "
+            f"(errors={len(self.errors)})"
+        ]
+        if not self.parity_ok:
+            lines.append(
+                "  WARNING: event-count parity mismatch — reported indices may "
+                "not line up with crashsweep --at indices"
+            )
+        if self.saturated:
+            lines.append("  NOTE: analysis budget hit; later events were not checked")
+        by_rule: Dict[str, int] = {}
+        for f in self.findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        for rule in sorted(by_rule):
+            lines.append(f"  {rule}: {by_rule[rule]}")
+        shown = self.findings[:detail_limit]
+        for f in shown:
+            lines.append("  " + f.format(self.reproducer(f)))
+        if len(self.findings) > detail_limit:
+            lines.append(f"  ... and {len(self.findings) - detail_limit} more")
+        if not self.findings:
+            lines.append("  clean: no findings")
+        return "\n".join(lines)
+
+
+def run_workload(
+    workload: str,
+    config: str,
+    perf: bool = True,
+    max_events: Optional[int] = None,
+    seed: int = 0,
+) -> AnalysisReport:
+    """Replay one crash-sweep workload to completion under the tap."""
+    from repro.crashsweep.workloads import get_workload
+
+    wname = resolve_workload(workload)
+    cname = resolve_config(config)
+    wl = get_workload(wname)
+    holder: dict = {}
+
+    def instrument(fs) -> None:
+        holder["analyzer"] = attach_analyzer(fs, perf=perf, max_events=max_events)
+
+    outcome = wl.run(cname, instrument=instrument)
+    analyzer: TraceAnalyzer = holder["analyzer"]
+    derived = count_events(outcome.fs.device, since=outcome.stats_base)
+    return AnalysisReport(
+        workload=wname,
+        config_name=cname,
+        findings=list(analyzer.findings),
+        events=analyzer.event_index,
+        parity_ok=analyzer.event_index == derived,
+        saturated=analyzer.saturated,
+        seed=seed,
+    )
+
+
+# -- corpus programs -------------------------------------------------------
+
+PROGRAM_DEVICE_SIZE = 4 << 20
+
+
+@dataclass
+class ProgramCtx:
+    """What a corpus program's ``run(ctx)`` gets to drive."""
+
+    device: NvmDevice
+    regions: RegionMap
+    analyzer: TraceAnalyzer
+    #: handy region anchors (line-aligned starts)
+    data_off: int = field(init=False)
+    metalog_off: int = field(init=False)
+    node_tables_off: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        layout = self.regions.layout
+        self.data_off = layout.data_area.start
+        self.metalog_off = layout.metalog.start
+        self.node_tables_off = layout.node_tables.start
+
+    @contextmanager
+    def op(self, name: str):
+        """Bracket an operation (drives the boundary rule)."""
+        self.analyzer.on_op_begin(name)
+        try:
+            yield
+        finally:
+            self.analyzer.on_op_end(name)
+
+
+def program_context(device_size: int = PROGRAM_DEVICE_SIZE) -> ProgramCtx:
+    device = NvmDevice(device_size)
+    regions = RegionMap.for_device(device_size)
+    analyzer = TraceAnalyzer(regions, device=device, async_writeback=False)
+    device.analysis_tap = analyzer
+    return ProgramCtx(device=device, regions=regions, analyzer=analyzer)
+
+
+def load_program(path: str):
+    spec = importlib.util.spec_from_file_location("repro_analysis_program", path)
+    if spec is None or spec.loader is None:
+        raise ValueError(f"cannot load program {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    if not hasattr(module, "run"):
+        raise ValueError(f"program {path!r} defines no run(ctx)")
+    return module
+
+
+def run_program(path: str) -> Tuple[List[Finding], List[str]]:
+    """Execute one corpus program; returns (findings, EXPECT rules)."""
+    module = load_program(path)
+    ctx = program_context()
+    module.run(ctx)
+    return list(ctx.analyzer.findings), list(getattr(module, "EXPECT", []))

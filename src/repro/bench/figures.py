@@ -145,6 +145,7 @@ def recovery_experiment(file_size: int = 64 << 20) -> str:
     config = MgspConfig()
     fs = MgspFilesystem(device_size=4 * file_size, config=config)
     f = fs.create("big.dat", capacity=file_size)
+    # analysis: allow(raw-store-outside-protocol) -- prefill of pre-existing file content, not measured traffic
     fs.device.buffer.store(f.inode.base, b"\x11" * file_size)
     fs.device.buffer.drain()
     fs.volume.set_size(f.inode, file_size)

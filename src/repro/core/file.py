@@ -228,8 +228,11 @@ class MgspFile(FileHandle):
 
     def _ensure_height(self, end: int) -> None:
         if end > self.tree.covered():
-            self.tree.grow_to(end)
-            self.fs.device.fence()
+            # grow_to returns the root nodes it actually stored; a fresh
+            # tree often grows by height alone (the new root word is
+            # already zero), and fencing then is pure overhead.
+            if self.tree.grow_to(end):
+                self.fs.device.fence()
 
     def _write_atomic(
         self, offset: int, data: bytes, leaf_index: Optional[int] = None

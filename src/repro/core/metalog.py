@@ -172,6 +172,7 @@ class MetadataLog:
         """Mark the entry outdated (length=0). Deliberately unfenced: a
         replay of an already-applied entry is idempotent."""
         off = self.entry_offset(index)
+        # analysis: allow(unfenced-nt-store) -- deliberately unfenced (§III-C1): replaying a retired entry is idempotent
         self.device.store_word_v(((off + 8, 0),))  # clears length + gen
 
     # -- recovery scan ---------------------------------------------------------------

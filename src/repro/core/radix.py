@@ -176,6 +176,7 @@ class RadixTree:
             node.word = word
             items.append((node.slot_off, word))
         if items:
+            # analysis: allow(unfenced-nt-store) -- caller fences: step 4 of _write_locked ends with one fence over the batch
             self.device.store_word_v(items)
 
     def store_log_ptrs(self, nodes) -> None:
@@ -183,6 +184,7 @@ class RadixTree:
         ``log_off`` (already set by the planner's allocation)."""
         items = [(node.slot_off + 8, node.log_off) for node in nodes]
         if items:
+            # analysis: allow(unfenced-nt-store) -- caller fences: step 4 of _write_locked ends with one fence over the batch
             self.device.store_word_v(items)
 
     def grow_to(self, size: int) -> List[Node]:

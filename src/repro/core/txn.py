@@ -80,8 +80,10 @@ class MgspTransaction:
             rec = fs.recorder
             rec.compute(fs.timing.tree_node_ns * max(1, plan.nodes_visited))
 
-            # Two-phase locking: terminals stay locked until commit.
-            for level, index in plan.terminals:
+            # Two-phase locking: terminals stay locked until commit,
+            # acquired in index order (the same deadlock-avoidance
+            # discipline as MglLockManager.acquire).
+            for level, index in sorted(plan.terminals, key=lambda t: t[1]):
                 key = fs.mgl.node_key(handle.inode.id, level, index)
                 if key not in self._locks:
                     rec.lock(key, "W")
@@ -189,13 +191,20 @@ class MgspTransaction:
             )
             for key, node in self._staged.items():
                 node.word = self._durable_words[key]
+            freed_any = False
             for node in self._txn_logs:
                 # Only reclaim logs that are not referenced by the
                 # (restored) durable state.
                 if not self._node_log_live(node):
                     fs.logs.free(node.log_off, node.size)
                     handle.tree.store_log_ptr(node, 0)
-            fs.device.fence()
+                    freed_any = True
+            if freed_any:
+                # Only the pointer-zeroing needs ordering; the staged
+                # words were DRAM-only and every txn write already
+                # fenced its own data, so a rollback that freed nothing
+                # has nothing pending and would fence for free.
+                fs.device.fence()
             for key in self._locks:
                 fs.recorder.unlock(key)
         self._finish()

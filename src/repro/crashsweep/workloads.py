@@ -109,9 +109,16 @@ class SweepWorkload:
         return state.get("oracles", {})
 
     def run(
-        self, config_name: str, plan: Optional[CrashPlan] = None
+        self,
+        config_name: str,
+        plan: Optional[CrashPlan] = None,
+        instrument: Optional[Callable[[MgspFilesystem], None]] = None,
     ) -> RunOutcome:
         fs = MgspFilesystem(device_size=DEVICE_SIZE, config=make_config(config_name))
+        if instrument is not None:
+            # Observer attachment point (e.g. the repro.analysis tap):
+            # runs before setup so the observer sees the whole stream.
+            instrument(fs)
         state = self.setup(fs)
         fs.device.drain()
         stats_base = fs.device.stats.snapshot()

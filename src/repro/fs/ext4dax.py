@@ -39,6 +39,7 @@ class Ext4DaxFile(FileHandle):
             fs.recorder.lock(("inode", self.inode.id), "W")
             # Extent lookup in the DAX path.
             fs.recorder.compute(timing.page_cache_lookup_ns)
+            # analysis: allow(unfenced-nt-store) -- DAX semantics: durability is deferred to fsync's fence by design
             fs.device.nt_store(self.inode.base + offset, data)
             if offset + len(data) > self.inode.size:
                 # i_size update is metadata: DRAM now, journaled at fsync.

@@ -93,6 +93,11 @@ class StoreBuffer:
         """The flushed-not-fenced interval set (consolidated view)."""
         return self._consolidate_pending()
 
+    def has_pending(self) -> bool:
+        """Whether a fence would make anything durable (cheap: checks
+        the raw log before touching interval semantics)."""
+        return bool(self._pending_log) or bool(self.pending)
+
     # -- the persistence primitives ---------------------------------------
 
     def store(self, offset: int, data: bytes) -> None:
@@ -303,6 +308,7 @@ class StoreBuffer:
             if unknown:
                 raise OutOfRangeError(f"words {sorted(unknown)} are not unfenced")
         else:
+            # analysis: allow(ambient-nondeterminism) -- exploratory default only; every replayable caller passes a seeded rng
             rng = rng or random.Random()
             chosen = choose_persist_words(candidates, rng, persist_probability)
         for off in chosen:

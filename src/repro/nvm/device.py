@@ -30,6 +30,12 @@ class DeviceStats:
     fences: int = 0
     stores: int = 0
     loads: int = 0
+    #: wasted persistence ops (perf diagnostics, not correctness):
+    #: a clwb call that covered only clean lines, and an sfence issued
+    #: with nothing pending — both cost Optane bandwidth/latency for no
+    #: durability gain. Surfaced by ``repro.analysis`` reports.
+    redundant_flushes: int = 0
+    redundant_fences: int = 0
 
     def snapshot(self) -> "DeviceStats":
         return DeviceStats(**vars(self))
@@ -43,6 +49,8 @@ class DeviceStats:
             fences=self.fences - since.fences,
             stores=self.stores - since.stores,
             loads=self.loads - since.loads,
+            redundant_flushes=self.redundant_flushes - since.redundant_flushes,
+            redundant_fences=self.redundant_fences - since.redundant_fences,
         )
 
 
@@ -66,6 +74,12 @@ class NvmDevice:
         self.buffer = StoreBuffer(size)
         self.stats = DeviceStats()
         self.tracer = None  # duck-typed: io_write / io_read / io_flush / io_fence
+        #: duck-typed persistence-event observer (see
+        #: :class:`repro.analysis.analyzer.TraceAnalyzer`): on_store /
+        #: on_flush / on_fence / on_drain, fired once per logical op —
+        #: per element inside the vectorized entry points, mirroring the
+        #: crash-plan event enumeration exactly.
+        self.analysis_tap = None
         self.crash_plan: Optional[CrashPlan] = None
 
     # -- persistence primitives -------------------------------------------
@@ -79,18 +93,23 @@ class NvmDevice:
         self.stats.stored_bytes += len(data)
         if self.tracer is not None:
             self.tracer.io_cached(len(data))
+        if self.analysis_tap is not None:
+            self.analysis_tap.on_store(offset, len(data), "store")
 
     def nt_store(self, offset: int, data: bytes) -> None:
         """Non-temporal store: bypasses the cache (store + clwb in one);
         still requires a fence to be ordered-durable."""
         if self.crash_plan is not None:
             self.crash_plan.on_event("store")
+        # analysis: allow(unfenced-nt-store) -- this *is* the primitive; ordering is the caller's contract
         flushed = self.buffer.nt_store(offset, data)
         self.stats.stores += 1
         self.stats.stored_bytes += len(data)
         self.stats.flushed_lines += flushed
         if self.tracer is not None:
             self.tracer.io_write(len(data))
+        if self.analysis_tap is not None:
+            self.analysis_tap.on_store(offset, len(data), "nt")
 
     # -- scatter-gather entry points ---------------------------------------
     #
@@ -109,6 +128,7 @@ class NvmDevice:
         buffer = self.buffer
         stats = self.stats
         tracer = self.tracer
+        tap = self.analysis_tap
         total = 0
         try:
             for offset, data in writes:
@@ -119,6 +139,8 @@ class NvmDevice:
                 total += len(data)
                 if tracer is not None:
                     tracer.io_cached(len(data))
+                if tap is not None:
+                    tap.on_store(offset, len(data), "store")
         finally:
             stats.stored_bytes += total
 
@@ -128,17 +150,21 @@ class NvmDevice:
         buffer = self.buffer
         stats = self.stats
         tracer = self.tracer
+        tap = self.analysis_tap
         total = 0
         lines = 0
         try:
             for offset, data in writes:
                 if crash_plan is not None:
                     crash_plan.on_event("store")
+                # analysis: allow(unfenced-nt-store) -- this *is* the primitive; ordering is the caller's contract
                 lines += buffer.nt_store(offset, data)
                 stats.stores += 1
                 total += len(data)
                 if tracer is not None:
                     tracer.io_write(len(data))
+                if tap is not None:
+                    tap.on_store(offset, len(data), "nt")
         finally:
             stats.stored_bytes += total
             stats.flushed_lines += lines
@@ -155,12 +181,17 @@ class NvmDevice:
         provably the same (the just-stored line is always dirty, so the
         flush always queues exactly that one line).
         """
-        if self.crash_plan is not None or self.tracer is not None:
+        if (
+            self.crash_plan is not None
+            or self.tracer is not None
+            or self.analysis_tap is not None
+        ):
             for offset, value in words:
                 self.atomic_store_u64(offset, value)
                 self.flush(offset, 8)
             return
         n = len(words)
+        # analysis: allow(unfenced-nt-store) -- this *is* the primitive; ordering is the caller's contract
         self.buffer.nt_store_words(words)
         stats = self.stats
         stats.stores += n
@@ -174,8 +205,10 @@ class NvmDevice:
         buffer = self.buffer
         stats = self.stats
         tracer = self.tracer
+        tap = self.analysis_tap
         lines = 0
         calls = 0
+        redundant = 0
         try:
             for offset, length in ranges:
                 if crash_plan is not None:
@@ -183,11 +216,16 @@ class NvmDevice:
                 nlines = buffer.flush(offset, length)
                 lines += nlines
                 calls += 1
+                if nlines == 0:
+                    redundant += 1
                 if tracer is not None:
                     tracer.io_flush(nlines)
+                if tap is not None:
+                    tap.on_flush(offset, length, nlines)
         finally:
             stats.flushed_lines += lines
             stats.flush_calls += calls
+            stats.redundant_flushes += redundant
 
     def atomic_store_u64(self, offset: int, value: int) -> None:
         if self.crash_plan is not None:
@@ -197,6 +235,8 @@ class NvmDevice:
         self.stats.stored_bytes += 8
         if self.tracer is not None:
             self.tracer.io_cached(8)
+        if self.analysis_tap is not None:
+            self.analysis_tap.on_store(offset, 8, "atomic")
 
     def load(self, offset: int, length: int) -> bytes:
         data = self.buffer.load(offset, length)
@@ -215,16 +255,24 @@ class NvmDevice:
         self.stats.flush_calls += 1
         nlines = self.buffer.flush(offset, length)
         self.stats.flushed_lines += nlines
+        if nlines == 0:
+            self.stats.redundant_flushes += 1
         if self.tracer is not None:
             self.tracer.io_flush(nlines)
+        if self.analysis_tap is not None:
+            self.analysis_tap.on_flush(offset, length, nlines)
 
     def fence(self) -> None:
         if self.crash_plan is not None:
             self.crash_plan.on_event("fence")
+        if not self.buffer.has_pending():
+            self.stats.redundant_fences += 1
         self.buffer.fence()
         self.stats.fences += 1
         if self.tracer is not None:
             self.tracer.io_fence()
+        if self.analysis_tap is not None:
+            self.analysis_tap.on_fence()
 
     def persist(self, offset: int, length: int) -> None:
         """flush + fence of one range (pmem_persist)."""
@@ -248,6 +296,8 @@ class NvmDevice:
     def drain(self) -> None:
         """Orderly shutdown: everything written becomes durable."""
         self.buffer.drain()
+        if self.analysis_tap is not None:
+            self.analysis_tap.on_drain()
 
     @classmethod
     def from_image(

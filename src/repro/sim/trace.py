@@ -16,11 +16,43 @@ automatically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Tuple
+from typing import Hashable, List, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.nvm.timing import TimingModel
 
 Segment = Tuple  # ("compute", ns) | ("io", ns) | ("lock", key, mode) | ("unlock", key)
+
+
+@runtime_checkable
+class Recorder(Protocol):
+    """The formal surface shared by :class:`TraceRecorder` and
+    :class:`NullRecorder` (and any wrapper, e.g. the analysis tap's
+    :class:`~repro.analysis.analyzer.AnalysisRecorder`).
+
+    File-system code talks to its recorder only through these members,
+    so a conforming wrapper can be swapped in without isinstance checks.
+    ``enabled`` gates cost emission; ``timing`` prices media operations.
+    """
+
+    timing: TimingModel
+    enabled: bool
+
+    # -- op lifecycle --------------------------------------------------
+    def begin_op(self, name: str) -> None: ...
+    def end_op(self) -> "OpTrace": ...
+    def take_completed(self) -> List["OpTrace"]: ...
+
+    # -- explicit costs ------------------------------------------------
+    def compute(self, ns: float) -> None: ...
+    def lock(self, key: Hashable, mode: str) -> None: ...
+    def unlock(self, key: Hashable) -> None: ...
+
+    # -- device tracer interface ---------------------------------------
+    def io_write(self, nbytes: int) -> None: ...
+    def io_cached(self, nbytes: int) -> None: ...
+    def io_read(self, nbytes: int) -> None: ...
+    def io_flush(self, nlines: int) -> None: ...
+    def io_fence(self) -> None: ...
 
 
 @dataclass
@@ -149,6 +181,9 @@ class NullRecorder:
 
     def end_op(self) -> OpTrace:
         return OpTrace()
+
+    def take_completed(self) -> List[OpTrace]:
+        return []
 
     def compute(self, ns: float) -> None:
         pass

@@ -102,6 +102,7 @@ def _prefill(fs: FileSystem, handle, size: int) -> None:
         pos = 0
         while pos < size:
             take = min(PREFILL_CHUNK, size - pos)
+            # analysis: allow(raw-store-outside-protocol) -- prefill of pre-existing file content, not measured traffic
             device.buffer.store(base + pos, payload[:take])
             pos += take
         device.buffer.drain()

@@ -1,0 +1,10 @@
+"""Conforming twin: data fenced before the commit entry persists."""
+
+EXPECT = []
+
+
+def run(ctx):
+    ctx.device.nt_store(ctx.data_off, b"payload " * 64)
+    ctx.device.fence()  # step 4: data durable first
+    ctx.device.nt_store(ctx.metalog_off, b"\x5a" * 64)
+    ctx.device.fence()  # step 5: commit point

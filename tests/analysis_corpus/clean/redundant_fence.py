@@ -1,0 +1,9 @@
+"""Conforming twin: every fence has something pending to order."""
+
+EXPECT = []
+
+
+def run(ctx):
+    ctx.device.store(ctx.data_off, b"z" * 64)
+    ctx.device.flush(ctx.data_off, 64)
+    ctx.device.fence()

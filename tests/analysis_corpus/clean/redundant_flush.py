@@ -1,0 +1,10 @@
+"""Conforming twin: every clwb covers a dirty line."""
+
+EXPECT = []
+
+
+def run(ctx):
+    ctx.device.store(ctx.data_off, b"y" * 64)
+    ctx.device.persist(ctx.data_off, 64)
+    ctx.device.store(ctx.data_off, b"Y" * 64)  # re-dirty before re-flushing
+    ctx.device.persist(ctx.data_off, 64)

@@ -1,0 +1,12 @@
+"""Conforming twin: node-table words committed atomically, one by one."""
+
+EXPECT = []
+
+
+def run(ctx):
+    ctx.device.atomic_store_u64(ctx.node_tables_off, 0x1111111111111111)
+    ctx.device.flush(ctx.node_tables_off, 8)
+    ctx.device.fence()
+    ctx.device.atomic_store_u64(ctx.node_tables_off + 8, 0x2222222222222222)
+    ctx.device.flush(ctx.node_tables_off + 8, 8)
+    ctx.device.fence()

@@ -1,0 +1,9 @@
+"""Conforming twin: the op persists its data before returning."""
+
+EXPECT = []
+
+
+def run(ctx):
+    with ctx.op("write"):
+        ctx.device.store(ctx.data_off, b"x" * 256)
+        ctx.device.persist(ctx.data_off, 256)

@@ -1,0 +1,16 @@
+"""Violation: commit entry fenced while its guarded data is volatile.
+
+The MGSP protocol requires the data fence (step 4) strictly before the
+commit-point store (step 5); this program skips it, so at the commit
+fence the data lines are still pending from an older store — a crash
+could persist the checksummed entry via eviction and lose the data.
+"""
+
+EXPECT = ["commit-before-data"]
+
+
+def run(ctx):
+    ctx.device.nt_store(ctx.data_off, b"payload " * 64)  # 512B of data
+    # MISSING: ctx.device.fence()  <- the dropped step-4 data fence
+    ctx.device.nt_store(ctx.metalog_off, b"\x5a" * 64)  # 64B commit entry
+    ctx.device.fence()  # commit fence sees the data still pending

@@ -1,0 +1,9 @@
+"""Perf violation: a fence with nothing pending (wasted sfence)."""
+
+EXPECT = ["redundant-fence"]
+
+
+def run(ctx):
+    ctx.device.store(ctx.data_off, b"z" * 64)
+    ctx.device.persist(ctx.data_off, 64)
+    ctx.device.fence()  # nothing was flushed since the persist

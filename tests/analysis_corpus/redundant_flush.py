@@ -1,0 +1,9 @@
+"""Perf violation: clwb of an already-clean line (wasted media op)."""
+
+EXPECT = ["redundant-flush"]
+
+
+def run(ctx):
+    ctx.device.store(ctx.data_off, b"y" * 64)
+    ctx.device.persist(ctx.data_off, 64)  # line is now durable
+    ctx.device.flush(ctx.data_off, 64)  # flushes nothing

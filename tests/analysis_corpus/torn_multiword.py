@@ -1,0 +1,12 @@
+"""Violation: multi-word metadata via a plain (tearable) cached store.
+
+Node-table slots are 16 bytes (word + log pointer); writing both with
+one cached store lets either 8-byte half persist without the other.
+"""
+
+EXPECT = ["torn-multiword"]
+
+
+def run(ctx):
+    ctx.device.store(ctx.node_tables_off, b"\x11" * 16)
+    ctx.device.persist(ctx.node_tables_off, 16)

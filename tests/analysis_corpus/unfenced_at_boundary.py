@@ -1,0 +1,14 @@
+"""Violation: an op returns with dirty (unflushed) lines alive.
+
+Outside the async write-back config, every synchronized operation must
+leave its data at least flushed before returning; this op stores and
+walks away.
+"""
+
+EXPECT = ["unfenced-at-boundary"]
+
+
+def run(ctx):
+    with ctx.op("write"):
+        ctx.device.store(ctx.data_off, b"x" * 256)
+        # MISSING: ctx.device.persist(ctx.data_off, 256)

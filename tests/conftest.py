@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis import attach_analyzer
 from repro.core import MgspConfig, MgspFilesystem
 from repro.fs import Ext4, Ext4Dax, Libnvmmio, Nova, Splitfs
 from repro.nvm.device import NvmDevice
@@ -18,7 +19,16 @@ def device():
 
 @pytest.fixture
 def mgsp():
-    return MgspFilesystem(device_size=64 << 20, config=MgspConfig(degree=16))
+    """An MGSP mount with the persistence-order analyzer armed in
+    strict mode: any error-severity protocol violation observed while
+    the test drove the filesystem fails the test at teardown."""
+    fs = MgspFilesystem(device_size=64 << 20, config=MgspConfig(degree=16))
+    analyzer = attach_analyzer(fs, perf=False)
+    yield fs
+    errors = analyzer.errors
+    assert not errors, "persistence-protocol violations:\n" + "\n".join(
+        f.format() for f in errors
+    )
 
 
 _FACTORIES = {

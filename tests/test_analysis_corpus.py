@@ -1,0 +1,91 @@
+"""Violation corpus self-test: every rule fires on its program and
+stays silent on its conforming twin."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import RULES, run_program
+from repro.analysis.__main__ import main as analysis_main
+
+CORPUS = os.path.join(os.path.dirname(__file__), "analysis_corpus")
+
+
+def corpus_files(subdir=""):
+    directory = os.path.join(CORPUS, subdir) if subdir else CORPUS
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".py")
+    )
+
+
+VIOLATING = corpus_files()
+CLEAN = corpus_files("clean")
+
+
+def name_of(path):
+    return os.path.relpath(path, CORPUS)
+
+
+@pytest.mark.parametrize("path", VIOLATING, ids=name_of)
+def test_violating_program_trips_expected_rule(path):
+    findings, expect = run_program(path)
+    assert expect, f"{path} declares no EXPECT rules"
+    fired = {f.rule for f in findings}
+    missing = set(expect) - fired
+    assert not missing, f"{path}: expected {expect}, fired {sorted(fired)}"
+    # precision: nothing beyond the declared violation
+    assert fired == set(expect), f"{path}: extra findings {sorted(fired - set(expect))}"
+
+
+@pytest.mark.parametrize("path", CLEAN, ids=name_of)
+def test_clean_twin_produces_no_findings(path):
+    findings, expect = run_program(path)
+    assert expect == [], f"{path} should declare EXPECT = []"
+    assert findings == [], f"{path}: " + "; ".join(f.format() for f in findings)
+
+
+def test_every_trace_rule_has_a_violating_program():
+    covered = set()
+    for path in VIOLATING:
+        covered.update(run_program(path)[1])
+    assert covered == set(RULES), f"rules without corpus coverage: {set(RULES) - covered}"
+
+
+def test_every_violating_program_has_a_clean_twin():
+    assert {name_of(p) for p in VIOLATING} == {
+        os.path.basename(p) for p in CLEAN
+    }
+
+
+# -- CLI exit semantics ----------------------------------------------------
+
+
+def test_cli_corpus_mode_green(capsys):
+    assert analysis_main(["--corpus", CORPUS]) == 0
+    assert "corpus" in capsys.readouterr().out
+
+
+def test_cli_single_program_nonzero_on_violation(capsys):
+    path = os.path.join(CORPUS, "commit_before_data.py")
+    assert analysis_main(["--program", path]) == 1
+    assert "commit-before-data" in capsys.readouterr().out
+
+
+def test_cli_single_program_zero_on_clean(capsys):
+    path = os.path.join(CORPUS, "clean", "commit_before_data.py")
+    assert analysis_main(["--program", path]) == 0
+
+
+def test_cli_detects_silent_rule_regression(tmp_path, capsys):
+    # a program that EXPECTs a rule which never fires must FAIL the
+    # corpus run — this is what makes the corpus self-testing
+    prog = tmp_path / "stale.py"
+    prog.write_text(
+        'EXPECT = ["commit-before-data"]\n\n\ndef run(ctx):\n    pass\n'
+    )
+    assert analysis_main(["--program", str(prog)]) == 2
+    assert "expected" in capsys.readouterr().out.lower()

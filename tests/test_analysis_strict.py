@@ -1,0 +1,39 @@
+"""Tier-1 MGSP workloads replayed under the analyzer in strict mode.
+
+Sync configs must be completely clean (zero findings, perf included —
+the write protocol neither wastes a flush nor a fence). Async configs
+are clean of *errors*; their fsync-after-epoch-drain fences surface as
+intentional redundant-fence diagnostics (documented in docs/analysis.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_workload
+
+WORKLOADS = ["fio-randwrite", "fio-write", "txn-mixed", "ycsb-a"]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_sync_workloads_fully_clean(workload):
+    report = run_workload(workload, "sync", perf=True)
+    assert report.parity_ok, "event indices drifted from crashsweep enumeration"
+    assert report.findings == [], report.format()
+    assert report.events > 0
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_async_workloads_error_free(workload):
+    report = run_workload(workload, "async", perf=True)
+    assert report.parity_ok
+    assert report.errors == [], report.format()
+    # anything that does surface is the documented fsync diagnostic
+    assert {f.rule for f in report.findings} <= {"redundant-fence"}
+
+
+def test_aliases_resolve():
+    report = run_workload("fio", "mgsp-sync", perf=False)
+    assert report.workload == "fio-randwrite"
+    assert report.config_name == "sync"
+    assert report.errors == []
