@@ -318,6 +318,10 @@ class AnalysisRecorder:
     def enabled(self, value: bool) -> None:
         self.inner.enabled = value
 
+    @property
+    def clock_ns(self) -> float:
+        return self.inner.clock_ns
+
     # -- op lifecycle ------------------------------------------------------
 
     def begin_op(self, name: str) -> None:

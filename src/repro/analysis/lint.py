@@ -62,6 +62,7 @@ REPLAYABLE_PREFIXES: Tuple[str, ...] = (
     "repro/fs",
     "repro/fsapi",
     "repro/crashsweep",
+    "repro/obs",
 )
 
 _STORE_METHODS = frozenset({"store", "nt_store", "store_v", "nt_store_v"})

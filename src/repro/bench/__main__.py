@@ -6,6 +6,8 @@ Usage::
     python -m repro.bench fig08-write tab02
     python -m repro.bench --list
     python -m repro.bench -o report.txt   # also write a report file
+    python -m repro.bench tab02 --breakdown tab02.obs.json
+                                          # + per-run telemetry sidecar
 
 This is the reproduction's equivalent of the artifact's
 ``evaluation/fio/scripts/run_all.sh``.
@@ -27,6 +29,11 @@ def main(argv=None) -> int:
     parser.add_argument("experiments", nargs="*", help="experiment names (default: all)")
     parser.add_argument("--list", action="store_true", help="list experiment names")
     parser.add_argument("-o", "--output", help="write the report to this file")
+    parser.add_argument(
+        "--breakdown",
+        help="write a JSON sidecar with per-run telemetry breakdowns "
+        "(fig13-style layer attribution for every figure run)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -34,21 +41,43 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
+    breakdowns = None
+    if args.breakdown:
+        from repro.bench.harness import collect_breakdowns
+
+        breakdowns = []
+        collect_breakdowns(breakdowns)
+
     sections = []
     start = time.time()
-    for name, text in run_all(
-        args.experiments or None,
-        progress=lambda n: print(f"[{time.time() - start:6.1f}s] running {n} ...", file=sys.stderr),
-    ):
-        block = f"\n{'=' * 70}\n{text}\n"
-        print(block)
-        sections.append(block)
+    try:
+        for name, text in run_all(
+            args.experiments or None,
+            progress=lambda n: print(f"[{time.time() - start:6.1f}s] running {n} ...", file=sys.stderr),
+        ):
+            block = f"\n{'=' * 70}\n{text}\n"
+            print(block)
+            sections.append(block)
+    finally:
+        if breakdowns is not None:
+            from repro.bench.harness import collect_breakdowns
+
+            collect_breakdowns(None)
 
     if args.output:
         with open(args.output, "w") as fh:
             fh.write("MGSP reproduction report\n")
             fh.writelines(sections)
         print(f"report written to {args.output}", file=sys.stderr)
+    if args.breakdown:
+        import json
+
+        with open(args.breakdown, "w") as fh:
+            json.dump(breakdowns, fh, indent=2, sort_keys=True)
+        print(
+            f"breakdown sidecar ({len(breakdowns)} runs) written to {args.breakdown}",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -9,6 +9,21 @@ from repro.bench.registry import device_size_for, make_fs
 from repro.core import MgspConfig
 from repro.workloads.fio import FioJob, FioResult, run_fio
 
+#: when set (via collect_breakdowns), run_one attaches telemetry to
+#: every filesystem it mounts and appends one breakdown record per run.
+_breakdown_sink: Optional[List[dict]] = None
+
+
+def collect_breakdowns(sink: Optional[List[dict]]) -> None:
+    """Route per-run telemetry breakdowns into *sink* (None to stop).
+
+    Each record is ``{"fs", "job", "breakdown"}`` where ``breakdown``
+    is the :func:`repro.obs.exporters.json_snapshot` of that run — the
+    sidecar payload ``python -m repro.bench --breakdown`` writes.
+    """
+    global _breakdown_sink
+    _breakdown_sink = sink
+
 
 @dataclass
 class Table:
@@ -55,7 +70,28 @@ def run_one(
         device_size=device_size or device_size_for(job.fsize),
         mgsp_config=mgsp_config,
     )
-    return run_fio(fs, job)
+    sink = _breakdown_sink
+    if sink is None:
+        return run_fio(fs, job)
+    from repro.obs.exporters import json_snapshot
+    from repro.obs.spans import attach_telemetry
+
+    telemetry = attach_telemetry(fs)
+    result = run_fio(fs, job)
+    sink.append(
+        {
+            "fs": fs_name,
+            "job": {
+                "op": job.op,
+                "bs": job.bs,
+                "fsync": job.fsync,
+                "threads": job.threads,
+                "nops": job.nops,
+            },
+            "breakdown": json_snapshot(telemetry),
+        }
+    )
+    return result
 
 
 def sweep_fio(

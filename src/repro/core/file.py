@@ -39,6 +39,7 @@ class MgspFile(FileHandle):
         self.config: MgspConfig = fs.config
         self.tree = RadixTree(fs.device, inode, fs.config)
         self.shadow = ShadowLog(self.tree, fs.device, fs.logs, inode, fs.config)
+        self.shadow.obs = fs.obs
         self._mst: Optional[Tuple[int, int]] = None
         self.mst_hits = 0
         self.mst_misses = 0
@@ -241,6 +242,8 @@ class MgspFile(FileHandle):
         rec = fs.recorder
         timing = fs.timing
         thread = fs.current_thread
+        obs = fs.obs
+        frame = obs.span_begin("op.write") if obs.enabled else None
         # Inlined fs.op("write") bracket (hot path: no contextmanager).
         enabled = rec.enabled
         if enabled:
@@ -256,6 +259,9 @@ class MgspFile(FileHandle):
         finally:
             if enabled:
                 rec.end_op()
+            if frame is not None:
+                # Also heals any phase frame left open by an exception.
+                obs.span_end(frame)
         fs.api.writes += 1
         fs.api.bytes_written += len(data)
 
@@ -266,10 +272,13 @@ class MgspFile(FileHandle):
         rec = fs.recorder
         timing = fs.timing
         thread = fs.current_thread
+        obs = fs.obs
+        observing = obs.enabled
         gen = self.tree.next_gen()
 
         # 2. Plan: traverse the tree, pick log granularities, compute
         #    RMW fills (charged as reads by the device tracer).
+        frame = obs.span_begin("write.plan") if observing else None
         saved = self._mst_savings(offset, len(data))
         if leaf_index is not None:
             leaf, ancestors = self._leaf_path(leaf_index)
@@ -280,6 +289,8 @@ class MgspFile(FileHandle):
             covering = self._covering_node(offset, len(data))
         if rec.enabled:
             rec.compute(timing.tree_node_ns * max(1, plan.nodes_visited - saved))
+        if frame is not None:
+            obs.span_end(frame)
 
         # 3. Lock (MGL or greedy).
         lock_keys = fs.mgl.acquire(
@@ -293,14 +304,20 @@ class MgspFile(FileHandle):
 
         # 4. Eager existing-bit refreshes + fresh log pointers + data,
         #    all made durable by one fence.
+        frame = obs.span_begin("write.log") if observing else None
         self.tree.store_words(plan.refreshes)
         if plan.new_logs:
             self.tree.store_log_ptrs(plan.new_logs)
             if rec.enabled:
                 # per-size free-list pop
                 rec.compute(timing.block_alloc_ns * 0.2 * len(plan.new_logs))
+        if frame is not None:
+            obs.span_end(frame)
+            frame = obs.span_begin("write.data")
         fs.device.nt_store_v(_coalesce(plan.data_writes))
         fs.device.fence()
+        if frame is not None:
+            obs.span_end(frame)
 
         # 5. Commit point: persist the metadata-log entry.
         new_size = max(self.inode.size, offset + len(data))
@@ -315,6 +332,7 @@ class MgspFile(FileHandle):
         )
 
         # 6. Apply the valid-bit words (atomic stores) + size, fence.
+        frame = obs.span_begin("write.metadata") if observing else None
         self.tree.store_words([(node, word) for node, word, _slot in plan.commits])
         if new_size > self.inode.size:
             fs.volume.set_size_volatile(self.inode, new_size)
@@ -324,6 +342,8 @@ class MgspFile(FileHandle):
 
         # 7. Retire the entry (unfenced; replay is idempotent).
         fs.metalog.retire(entry)
+        if frame is not None:
+            obs.span_end(frame)
 
         # Ablation only: without shadow logging every commit is
         # immediately checkpointed back (the classic double write).
@@ -336,6 +356,8 @@ class MgspFile(FileHandle):
 
     def _apply_checkpoints(self, plan) -> None:
         fs = self.fs
+        obs = fs.obs
+        frame = obs.span_begin("checkpoint.inline") if obs.enabled else None
         gen2 = self.tree.next_gen()
         cleared = set()
         for node, src, dst, length in plan.checkpoints:
@@ -352,6 +374,8 @@ class MgspFile(FileHandle):
                     word = bitmap.pack_nonleaf(False, False, gen2, gen2)
                 self.tree.store_word(node, word)
         fs.device.fence()
+        if frame is not None:
+            obs.span_end(frame)
 
     # -- read (§III-D) -------------------------------------------------------------
 

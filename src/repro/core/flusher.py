@@ -64,6 +64,8 @@ class WritebackScheduler:
             self.deferred += 1
             return 0
         fs = self.fs
+        obs = fs.obs
+        frame = obs.span_begin("flusher.drain") if obs.enabled else None
         fg_recorder, fg_tracer = fs.recorder, fs.device.tracer
         fs.recorder = fs.bg_recorder
         fs.device.tracer = fs.bg_recorder
@@ -76,6 +78,12 @@ class WritebackScheduler:
         self._fresh_ops[key] = 0
         self.epochs += 1
         self.bytes_drained += copied
+        if frame is not None:
+            obs.span_end(frame)
+            reg = obs.registry
+            reg.counter("flusher_epochs_total").inc()
+            reg.counter("flusher_bytes_total").inc(copied)
+            reg.gauge("flusher_deferred").set(self.deferred)
         return copied
 
     def forget(self, inode_id: int) -> None:

@@ -23,15 +23,23 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Tuple
 
 from repro.core.config import MgspConfig
+from repro.obs.spans import NULL_SINK
 from repro.sim.locks import LockMode
 
 
 class MglLockManager:
+    #: telemetry sink (attach_telemetry replaces it per-instance); the
+    #: acquire span measures emission cost, the hold histogram measures
+    #: acquire-to-release virtual time per lock set.
+    obs = NULL_SINK
+
     def __init__(self, config: MgspConfig, recorder) -> None:
         self.config = config
         self.recorder = recorder
         # thread id -> ordered dict of retained intention locks
         self._retained: Dict[int, Dict[Hashable, str]] = {}
+        # id(keys list) -> virtual acquire time (popped at release)
+        self._hold_since: Dict[int, float] = {}
 
     # -- key helpers -------------------------------------------------------
 
@@ -55,6 +63,27 @@ class MglLockManager:
         greedy_node: Tuple[int, int] = None,
     ) -> List[Hashable]:
         """Emit lock segments for one op; returns the keys to release."""
+        obs = self.obs
+        if not obs.enabled:
+            return self._acquire(thread, file_id, path, terminals, write, greedy_node)
+        frame = obs.span_begin("mgl.acquire")
+        keys = self._acquire(thread, file_id, path, terminals, write, greedy_node)
+        obs.span_end(frame)
+        if len(self._hold_since) > 4096:
+            # Unreleased sets (exception paths) must not pin memory.
+            self._hold_since.clear()
+        self._hold_since[id(keys)] = obs.now()
+        return keys
+
+    def _acquire(
+        self,
+        thread: int,
+        file_id: int,
+        path: List[Tuple[int, int]],
+        terminals: List[Tuple[int, int]],
+        write: bool,
+        greedy_node: Tuple[int, int] = None,
+    ) -> List[Hashable]:
         rec = self.recorder
         if not self.config.fine_grained_locking:
             key = self.file_key(file_id)
@@ -89,6 +118,11 @@ class MglLockManager:
 
     def release(self, keys: List[Hashable]) -> None:
         """Release in the same order as acquisition (paper's rule)."""
+        obs = self.obs
+        if obs.enabled:
+            since = self._hold_since.pop(id(keys), None)
+            if since is not None:
+                obs.registry.histogram("mgl_hold_ns").observe(obs.now() - since)
         for key in keys:
             self.recorder.unlock(key)
 

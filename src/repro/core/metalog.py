@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 from repro.errors import FsError
 from repro.fsapi.layout import Region
 from repro.nvm.device import NvmDevice
+from repro.obs.spans import NULL_SINK
 from repro.util import checksum as crc
 
 ENTRY_SIZE = 128
@@ -104,6 +105,9 @@ class MetaEntry:
 class MetadataLog:
     """The per-mount metadata-log region."""
 
+    #: telemetry sink (attach_telemetry replaces it per-instance)
+    obs = NULL_SINK
+
     def __init__(self, device: NvmDevice, region: Region, entries: int = 32) -> None:
         if entries * ENTRY_SIZE > region.size:
             raise FsError(f"metalog region too small for {entries} entries")
@@ -151,6 +155,8 @@ class MetadataLog:
         """Persist one entry; this is the commit point of a write op."""
         if len(slots) > MAX_SLOTS:
             raise FsError(f"write needs {len(slots)} metadata slots > {MAX_SLOTS}")
+        obs = self.obs
+        frame = obs.span_begin("metalog.commit") if obs.enabled else None
         nslots_field = len(slots) | flags
         body = bytearray(HEADER.pack(0, file_id, nslots_field, length, gen, offset, file_size))
         for slot in slots:
@@ -167,6 +173,9 @@ class MetadataLog:
             self.device.tracer.compute(100.0)
         self.device.nt_store(off, body)
         self.device.fence()
+        if frame is not None:
+            obs.span_end(frame)
+            obs.registry.counter("metalog_commits_total").inc()
 
     def retire(self, index: int) -> None:
         """Mark the entry outdated (length=0). Deliberately unfenced: a

@@ -60,7 +60,11 @@ class MgspMmap:
         start, stop = self._bounds(key)
         if stop <= start:
             return b""
+        obs = self.handle.fs.obs
+        frame = obs.span_begin("mmio.read") if obs.enabled else None
         data = self.handle.read(start, stop - start)
+        if frame is not None:
+            obs.span_end(frame)
         # Reads past EOF within the mapping observe zeros (fresh pages).
         data = data.ljust(stop - start, b"\0")
         return data if isinstance(key, slice) else data
@@ -78,7 +82,11 @@ class MgspMmap:
                 f"store of {len(value)} bytes into a {stop - start}-byte range"
             )
         if value:
+            obs = self.handle.fs.obs
+            frame = obs.span_begin("mmio.write") if obs.enabled else None
             self.handle.write(start, value)
+            if frame is not None:
+                obs.span_end(frame)
 
     # -- msync-family ----------------------------------------------------------
 
@@ -86,7 +94,11 @@ class MgspMmap:
         """msync(): with MGSP every store is already a synchronized
         atomic op, so this is just a fence (the paper's Fig 7 story)."""
         self._check()
+        obs = self.handle.fs.obs
+        frame = obs.span_begin("mmio.flush") if obs.enabled else None
         self.handle.fsync()
+        if frame is not None:
+            obs.span_end(frame)
 
     def close(self) -> None:
         self.closed = True

@@ -44,15 +44,23 @@ def recover(
     device: NvmDevice,
     config: Optional[MgspConfig] = None,
     timing=None,
+    telemetry=None,
 ) -> tuple:
     """Recover a crashed MGSP device image.
 
     Returns ``(fs, stats)`` — a freshly mounted :class:`MgspFilesystem`
     whose files are plain (all logs written back) plus statistics. The
     elapsed time is virtual (from the mounted FS's cost recorder).
+    Pass a :class:`repro.obs.spans.Telemetry` as *telemetry* to attach
+    it to the remounted filesystem and get per-phase recovery spans.
     """
     config = config or MgspConfig()
     fs = MgspFilesystem.remount(device, config=config, timing=timing)
+    if telemetry is not None:
+        from repro.obs.spans import attach_telemetry
+
+        attach_telemetry(fs, telemetry=telemetry)
+    obs = fs.obs
     stats = RecoveryStats()
     recorder = fs.recorder
     recorder.begin_op("recovery")
@@ -60,6 +68,7 @@ def recover(
     # Phase 1: roll forward committed-but-unapplied operations.
     # Transaction groups (chained entries) are applied only when their
     # commit-flagged entry survived; orphaned members are discarded.
+    frame = obs.span_begin("recovery.rollforward") if obs.enabled else None
     trees: Dict[int, RadixTree] = {}
     entries = fs.metalog.scan()
     committed_txns = {e.txn_id for e in entries if e.is_txn_member and e.is_txn_commit}
@@ -84,6 +93,9 @@ def recover(
     for entry in replayed:
         fs.metalog.retire(entry.index)
     device.fence()
+    if frame is not None:
+        obs.span_end(frame)
+        frame = obs.span_begin("recovery.writeback")
 
     # Phase 2: write logs back and reset the trees.
     for inode in fs.volume.files():
@@ -97,6 +109,7 @@ def recover(
         if not tree.nodes:
             continue
         shadow = ShadowLog(tree, device, fs.logs, inode, config)
+        shadow.obs = obs
         copied = shadow.write_back()
         if copied:
             stats.replayed_files.append(inode.name)
@@ -104,6 +117,12 @@ def recover(
         tree.clear_table()
 
     fs.logs.reset()
+    if frame is not None:
+        obs.span_end(frame)
+        reg = obs.registry
+        reg.gauge("recovery_entries_replayed").set(stats.entries_replayed)
+        reg.gauge("recovery_entries_discarded").set(stats.entries_discarded)
+        reg.gauge("recovery_log_bytes_written_back").set(stats.log_bytes_written_back)
     trace = recorder.end_op()
     stats.elapsed_ns = trace.duration_ns(fs.timing.lock_ns)
     return fs, stats

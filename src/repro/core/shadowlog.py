@@ -36,6 +36,7 @@ from repro.core.radix import Node, RadixTree
 from repro.fsapi.volume import Inode
 from repro.nvm.allocator import LogAllocator
 from repro.nvm.device import NvmDevice
+from repro.obs.spans import NULL_SINK
 
 
 @dataclass
@@ -72,6 +73,9 @@ def _ordinal(tree: RadixTree, node: Node) -> int:
 
 class ShadowLog:
     """Planner + reader + write-back for one file's tree."""
+
+    #: telemetry sink (the owning MgspFile copies ``fs.obs`` here)
+    obs = NULL_SINK
 
     def __init__(
         self,
@@ -630,13 +634,19 @@ class ShadowLog:
         (disjoint regions), so the stores are gathered and issued as one
         scatter-gather batch. Returns the number of bytes copied.
         """
+        obs = self.obs
+        frame = obs.span_begin("checkpoint.writeback") if obs.enabled else None
         limit = min(self.tree.covered(), self.inode.size)
         writes: List[Tuple[int, bytes]] = []
         self._wb_rec(self.tree.root, 0, 0, limit, writes)
         if writes:
             self.device.nt_store_v(writes)
         self.device.fence()
-        return sum(len(data) for _, data in writes)
+        copied = sum(len(data) for _, data in writes)
+        if frame is not None:
+            obs.span_end(frame)
+            obs.registry.counter("checkpoint_bytes_total").inc(copied)
+        return copied
 
     def _wb_rec(
         self, node: Optional[Node], path_gen: int, off: int, end: int, writes: List

@@ -126,7 +126,7 @@ class MgspTransaction:
             raise TransactionError("transaction is closed")
         fs = self.fs
         handle = self.handle
-        with fs.op("txn-commit"):
+        with fs.op("txn-commit"), fs.obs.span("txn.commit"):
             slots = list(self._slots.values())
             chunks = [slots[i : i + MAX_SLOTS] for i in range(0, len(slots), MAX_SLOTS)] or [[]]
             if len(chunks) >= fs.metalog.entries:
@@ -174,6 +174,8 @@ class MgspTransaction:
                     fs.metalog.release(idx)
             for key in self._locks:
                 fs.recorder.unlock(key)
+        if fs.obs.enabled:
+            fs.obs.registry.counter("txn_commits_total").inc()
         self._finish()
 
     def rollback(self) -> None:
@@ -181,7 +183,7 @@ class MgspTransaction:
             raise TransactionError("transaction is closed")
         fs = self.fs
         handle = self.handle
-        with fs.op("txn-rollback"):
+        with fs.op("txn-rollback"), fs.obs.span("txn.rollback"):
             # Restore the staged size, but never below what plain writes
             # committed while this transaction was open (the durable
             # size field is monotone).
@@ -207,6 +209,8 @@ class MgspTransaction:
                 fs.device.fence()
             for key in self._locks:
                 fs.recorder.unlock(key)
+        if fs.obs.enabled:
+            fs.obs.registry.counter("txn_rollbacks_total").inc()
         self._finish()
 
     def _node_log_live(self, node) -> bool:

@@ -175,8 +175,12 @@ class LibnvmmioFile(FileHandle):
 
     def _checkpoint_all(self) -> None:
         fs: Libnvmmio = self.fs  # type: ignore[assignment]
+        obs = fs.obs
+        frame = obs.span_begin("checkpoint.libnvmmio") if obs.enabled else None
         for idx in sorted(self.entries):
             self._checkpoint_block(idx)
+        if frame is not None:
+            obs.span_end(frame)
 
     def _checkpoint_block(self, idx: int) -> None:
         fs: Libnvmmio = self.fs  # type: ignore[assignment]
@@ -244,6 +248,8 @@ class Libnvmmio(FileSystem):
         log area fills up; its locks contend with foreground writers."""
         if self.logs.in_use < self.bg_pressure * self.logs.capacity:
             return
+        obs = self.obs
+        frame = obs.span_begin("checkpoint.libnvmmio-bg") if obs.enabled else None
         fg = self.device.tracer
         self.device.tracer = self.bg_recorder
         self.bg_recorder.begin_op("bg-checkpoint")
@@ -264,6 +270,9 @@ class Libnvmmio(FileSystem):
         finally:
             self.bg_recorder.end_op()
             self.device.tracer = fg
+            if frame is not None:
+                obs.span_end(frame)
+                obs.registry.counter("libnvmmio_bg_checkpoints_total").inc()
 
     def take_bg_traces(self):
         return self.bg_recorder.take_completed()

@@ -12,6 +12,7 @@ from repro.errors import BadFileDescriptor
 from repro.fsapi.volume import Volume
 from repro.nvm.device import NvmDevice
 from repro.nvm.timing import OptaneTiming, TimingModel
+from repro.obs.spans import NULL_SINK
 from repro.sim.trace import TraceRecorder
 
 
@@ -131,6 +132,8 @@ class FileSystem(abc.ABC):
         self.volume = Volume(self.device, layout)
         self.api = ApiStats()
         self.open_handles = 0
+        #: telemetry sink; repro.obs.attach_telemetry swaps in a live one
+        self.obs = NULL_SINK
 
     # -- namespace ------------------------------------------------------------
 
@@ -153,6 +156,8 @@ class FileSystem(abc.ABC):
     @contextmanager
     def op(self, kind: str):
         """Bracket one API call: open a trace and charge the entry cost."""
+        obs = self.obs
+        frame = obs.span_begin("op." + kind) if obs.enabled else None
         self.recorder.begin_op(kind)
         entry = self.timing.syscall_ns if self.kernel_space else self.timing.user_call_ns
         self.recorder.compute(entry)
@@ -160,6 +165,8 @@ class FileSystem(abc.ABC):
             yield
         finally:
             self.recorder.end_op()
+            if frame is not None:
+                obs.span_end(frame)
 
     def take_traces(self):
         return self.recorder.take_completed()

@@ -25,9 +25,30 @@ def describe_device(device) -> str:
         f"  loads         : {stats.loads:,} ({stats.loaded_bytes:,} bytes)",
         f"  flushed lines : {stats.flushed_lines:,} ({stats.flush_calls:,} calls)",
         f"  fences        : {stats.fences:,}",
+        f"  redundant     : {stats.redundant_flushes:,} flushes, "
+        f"{stats.redundant_fences:,} fences",
         f"  dirty ranges  : {len(device.buffer.dirty)}",
         f"  pending ranges: {len(device.buffer.pending_set())}",
     ]
+    return "\n".join(lines)
+
+
+def render_breakdown(rows, total: float, unit: str = "ns", width: int = 40) -> str:
+    """Render ``(label, value)`` rows as a bar-chart table.
+
+    Shared by the telemetry exporters (fig13-style layer breakdowns)
+    and ad-hoc debugging. Values must be in *unit*; percentages and
+    bars are relative to *total* (pass the conserved total so the
+    column sums visibly to 100%). Zero rows are kept — a zero line in
+    a breakdown is information, not noise.
+    """
+    label_w = max([len(str(label)) for label, _ in rows] + [5])
+    lines = [f"{'layer':<{label_w}}  {unit:>14}  {'%':>6}  "]
+    for label, value in rows:
+        pct = 100.0 * value / total if total else 0.0
+        bar = "#" * int(round(width * value / total)) if total > 0 else ""
+        lines.append(f"{label:<{label_w}}  {value:>14,.0f}  {pct:>6.1f}  {bar}")
+    lines.append(f"{'total':<{label_w}}  {total:>14,.0f}  {100.0 if total else 0.0:>6.1f}")
     return "\n".join(lines)
 
 

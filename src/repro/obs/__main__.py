@@ -1,0 +1,97 @@
+"""CLI: replay a workload with telemetry and export the results.
+
+Examples::
+
+    python -m repro.obs --workload fio --config mgsp-sync
+    python -m repro.obs --workload txn --config mgsp-async --format json
+    python -m repro.obs --workload fio --config mgsp-sync \\
+        --format prometheus --out metrics.prom
+
+Formats: ``report`` (default; the human fig13-style breakdown),
+``json`` (deterministic snapshot — identical runs diff empty), and
+``prometheus`` (text exposition format).
+
+Exit status: 0 on success; 2 when the conservation self-check fails
+(per-layer sums not equal to the run totals — an instrumentation bug,
+never expected in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.obs import attribution, exporters
+from repro.obs.harness import run_workload
+
+
+def _conservation_ok(tel) -> bool:
+    time_rows = attribution.time_breakdown(tel)
+    byte_rows = attribution.write_breakdown(tel)
+    ns_sum = sum(v for _, v in time_rows)
+    byte_sum = sum(v for _, v in byte_rows)
+    ns_ok = abs(ns_sum - tel.total_ns()) <= 1e-6 * max(1.0, tel.total_ns())
+    bytes_ok = byte_sum == tel.total_bytes()
+    device_ok = tel.total_bytes() == tel.stored_bytes()
+    return ns_ok and bytes_ok and device_ok
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="telemetered workload replay: per-layer virtual-time "
+        "and write-amplification breakdowns",
+    )
+    parser.add_argument(
+        "--workload",
+        required=True,
+        help="crash-sweep workload name or alias (fio, txn, ycsb, fio-write, ...)",
+    )
+    parser.add_argument(
+        "--config",
+        default="mgsp-sync",
+        help="config name or alias (mgsp-sync, mgsp-async, sync, async)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("report", "json", "prometheus"),
+        default="report",
+        help="output format (default: report)",
+    )
+    parser.add_argument("--out", help="write output to this file instead of stdout")
+    parser.add_argument(
+        "--top", type=int, default=10, help="rows in the hottest-spans/lock tables"
+    )
+    args = parser.parse_args(argv)
+
+    run = run_workload(args.workload, args.config)
+    tel = run.telemetry
+
+    if args.format == "json":
+        text = exporters.to_json(tel) + "\n"
+    elif args.format == "prometheus":
+        text = exporters.to_prometheus(tel)
+    else:
+        header = (
+            f"obs: workload={run.workload} config={run.config_name} "
+            f"elapsed={tel.total_ns() / 1e6:.3f} ms "
+            f"stored={tel.total_bytes():,} bytes\n\n"
+        )
+        text = header + exporters.to_report(tel, top=args.top) + "\n"
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+
+    if not _conservation_ok(tel):
+        print("obs: CONSERVATION FAILURE: layer sums != run totals", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Run deterministic workloads with telemetry attached.
+
+Mirrors :mod:`repro.analysis.harness`: resolve a crash-sweep workload
+and config by the same aliases (``fio`` → ``fio-randwrite``,
+``mgsp-sync`` → ``sync``), attach :func:`~repro.obs.spans.attach_telemetry`
+through the workload's ``instrument`` hook (before setup, so the whole
+stream is measured), replay to completion, and hand back an
+:class:`ObsRun` bundling the telemetry with the run's totals.
+
+The workloads are seed-deterministic and the telemetry meters are the
+virtual clock and device counters, so two calls with the same arguments
+produce identical exports — the property ``python -m repro.obs`` and
+the CI job assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Telemetry, attach_telemetry
+
+# Shared CLI vocabulary with the analysis/crashsweep tools.
+from repro.analysis.harness import resolve_config, resolve_workload  # noqa: F401
+
+
+@dataclass
+class ObsRun:
+    """One telemetered workload replay."""
+
+    workload: str
+    config_name: str
+    telemetry: Telemetry
+    outcome: object  # crashsweep RunOutcome (fs still mounted)
+
+    @property
+    def fs(self):
+        return self.outcome.fs
+
+
+def run_workload(
+    workload: str,
+    config: str,
+    registry: "MetricsRegistry | None" = None,
+) -> ObsRun:
+    """Replay one crash-sweep workload to completion under telemetry.
+
+    The sink attaches before :meth:`SweepWorkload.setup`, so setup
+    traffic (file creation, initial population) is part of the measured
+    stream and the byte meter's baseline is the fresh device — making
+    ``telemetry.total_bytes()`` equal ``DeviceStats.stored_bytes``.
+    """
+    from repro.crashsweep.workloads import get_workload
+
+    wname = resolve_workload(workload)
+    cname = resolve_config(config)
+    wl = get_workload(wname)
+    holder: dict = {}
+
+    def instrument(fs) -> None:
+        holder["telemetry"] = attach_telemetry(fs, registry=registry)
+
+    outcome = wl.run(cname, instrument=instrument)
+    return ObsRun(
+        workload=wname,
+        config_name=cname,
+        telemetry=holder["telemetry"],
+        outcome=outcome,
+    )

@@ -1,0 +1,224 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Instruments are keyed by ``(name, labels)`` — the same identity model as
+Prometheus — and created lazily on first use::
+
+    reg = MetricsRegistry()
+    reg.counter("mgl_acquires_total", mode="w").inc()
+    reg.histogram("span_ns", span="write.data").observe(412.0)
+    reg.gauge("log_area_bytes").set(1 << 20)
+
+Everything here is plain arithmetic on the *virtual* clock's numbers —
+no wall time, no ambient randomness — so two identical simulation runs
+produce byte-identical :meth:`MetricsRegistry.snapshot` output (the
+determinism contract the telemetry CLI and CI lean on).
+
+:func:`percentile` is the shared nearest-rank percentile over raw
+samples (previously inlined in ``repro.workloads.fio``); histograms
+answer the same question from fixed buckets when keeping every sample
+would be too expensive.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (e.g. 50, 99) over raw samples.
+
+    The single source of the latency-percentile math used by
+    :class:`repro.workloads.fio.FioResult` and the workload CLI.
+    Returns 0.0 for an empty sample set.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(pct / 100 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+#: default histogram bounds for virtual-nanosecond durations: powers of
+#: two from 16 ns to ~1 s (observations above the last bound land in the
+#: overflow bucket and report as the observed maximum).
+DEFAULT_NS_BUCKETS: Tuple[float, ...] = tuple(float(16 << i) for i in range(27))
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, calls)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, live bytes, utilization)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max sidecars.
+
+    ``bounds`` are inclusive upper bounds; one extra overflow bucket
+    catches everything above the last bound. Percentiles are answered
+    by nearest rank over the cumulative bucket counts and report the
+    containing bucket's upper bound (clamped to the observed max), so
+    they are deterministic and never interpolate invented values.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, str], ...],
+        bounds: Sequence[float] = DEFAULT_NS_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Bucketed nearest-rank percentile (upper bound of the bucket
+        holding the rank-th observation, clamped to the observed max)."""
+        if not self.count:
+            return 0.0
+        rank = min(self.count - 1, max(0, int(round(pct / 100 * (self.count - 1)))))
+        seen = 0
+        for idx, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen > rank:
+                bound = self.bounds[idx] if idx < len(self.bounds) else self.max
+                return min(bound, self.max)
+        return self.max  # pragma: no cover - rank < count guarantees a hit
+
+    def nonzero_buckets(self) -> List[Tuple[float, int]]:
+        """(upper bound, count) for populated buckets, overflow last."""
+        out: List[Tuple[float, int]] = []
+        for idx, bucket_count in enumerate(self.counts):
+            if bucket_count:
+                bound = self.bounds[idx] if idx < len(self.bounds) else float("inf")
+                out.append((bound, bucket_count))
+        return out
+
+
+def _label_key(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    """``{k="v",...}`` in sorted-key order; empty string for no labels."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class MetricsRegistry:
+    """Lazily-created instruments keyed by ``(name, labels)``.
+
+    One registry backs one :class:`~repro.obs.spans.Telemetry`; the
+    get-or-create accessors are the only write path, so instrument
+    identity is stable and snapshots are deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[LabelKey, Counter] = {}
+        self._gauges: Dict[LabelKey, Gauge] = {}
+        self._histograms: Dict[LabelKey, Histogram] = {}
+
+    # -- get-or-create accessors ------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(name, key[1])
+        return inst
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(name, key[1])
+        return inst
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(
+                name, key[1], bounds=buckets if buckets is not None else DEFAULT_NS_BUCKETS
+            )
+        return inst
+
+    # -- iteration / export ------------------------------------------------
+
+    def counters(self) -> Iterable[Counter]:
+        return (self._counters[k] for k in sorted(self._counters))
+
+    def gauges(self) -> Iterable[Gauge]:
+        return (self._gauges[k] for k in sorted(self._gauges))
+
+    def histograms(self) -> Iterable[Histogram]:
+        return (self._histograms[k] for k in sorted(self._histograms))
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic nested dict of every instrument's state."""
+        out: Dict[str, Dict[str, object]] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for counter in self.counters():
+            out["counters"][counter.name + render_labels(counter.labels)] = counter.value
+        for gauge in self.gauges():
+            out["gauges"][gauge.name + render_labels(gauge.labels)] = gauge.value
+        for hist in self.histograms():
+            out["histograms"][hist.name + render_labels(hist.labels)] = {
+                "count": hist.count,
+                "sum": hist.sum,
+                "min": hist.min if hist.count else 0.0,
+                "max": hist.max if hist.count else 0.0,
+                "p50": hist.percentile(50),
+                "p99": hist.percentile(99),
+            }
+        return out

@@ -1,0 +1,240 @@
+"""Virtual-time spans: per-layer attribution on the simulated clock.
+
+A span brackets a region of protocol code (``mgl.acquire``,
+``write.data``, ``checkpoint.writeback``, ...) and measures two meters
+across it:
+
+- **virtual nanoseconds** — the cost recorders' accumulated clock
+  (:attr:`repro.sim.trace.TraceRecorder.clock_ns`), i.e. exactly the
+  time the replay/throughput math charges; and
+- **device bytes** — ``DeviceStats.stored_bytes``, so every persisted
+  byte is attributed to the layer that issued it.
+
+Spans nest; a span's *self* time/bytes are its inclusive delta minus
+whatever nested spans claimed, so summing self values over all spans
+(plus the unattributed remainder) reconstructs the run's total exactly
+— the conservation property the attribution views and tests rely on.
+
+Instrumented hot paths pay **one attribute check** when observability
+is off: every file system carries ``fs.obs`` which defaults to the
+shared :data:`NULL_SINK` (``enabled = False``); code guards with
+``if obs.enabled:`` and never constructs frames or reads clocks in the
+disabled case. Everything here runs on the virtual clock only — no
+wall time, no ambient randomness — so telemetry is deterministic and
+crash-replay safe.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+
+class NullSink:
+    """Disabled telemetry: one attribute check, nothing else.
+
+    Instrumentation guards with ``if obs.enabled:``; the no-op methods
+    below exist only as a safety net for unguarded (cold-path) calls.
+    """
+
+    enabled = False
+    registry: Optional[MetricsRegistry] = None
+
+    def now(self) -> float:
+        return 0.0
+
+    def span_begin(self, name: str, **labels):
+        return None
+
+    def span_end(self, frame) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **labels):
+        yield
+
+    def lock_wait(self, key: Hashable, ns: float) -> None:
+        pass
+
+
+#: the shared disabled sink — the default value of ``FileSystem.obs``
+NULL_SINK = NullSink()
+
+
+class _Frame:
+    """One open span on the stack (identity is the close token)."""
+
+    __slots__ = ("name", "labels", "start_ns", "start_bytes", "child_ns", "child_bytes")
+
+    def __init__(self, name: str, labels, start_ns: float, start_bytes: int) -> None:
+        self.name = name
+        self.labels = labels
+        self.start_ns = start_ns
+        self.start_bytes = start_bytes
+        self.child_ns = 0.0
+        self.child_bytes = 0
+
+
+class SpanStats:
+    """Aggregated measurements for one span name."""
+
+    __slots__ = ("count", "self_ns", "self_bytes", "total_ns", "total_bytes")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.self_ns = 0.0
+        self.self_bytes = 0
+        self.total_ns = 0.0
+        self.total_bytes = 0
+
+
+class Telemetry:
+    """The live sink: span accounting + a metrics registry.
+
+    Bind it to a mounted file system with :func:`attach_telemetry`
+    (captures the cost recorders' clocks and the device's byte counter
+    as the two meters). The simulation executes functionally on one OS
+    thread, so a single span stack is exact even for multi-threaded
+    *simulated* runs — simulated-thread contention shows up through
+    :meth:`lock_wait`, fed by the replay engine.
+    """
+
+    enabled = True
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._clocks: Tuple[object, ...] = ()
+        self._device = None
+        self._stack: List[_Frame] = []
+        self.spans: Dict[str, SpanStats] = {}
+        #: lock key -> [blocked acquires, total wait ns] (replay engine)
+        self.lock_waits: Dict[Hashable, List[float]] = {}
+        self._clock0 = 0.0
+        self._bytes0 = 0
+        self._root_ns = 0.0
+        self._root_bytes = 0
+
+    # -- binding -----------------------------------------------------------
+
+    def bind(self, clocks: Sequence[object], device=None) -> None:
+        """Set the meters: *clocks* are recorders exposing ``clock_ns``
+        (foreground + any background stream), *device* supplies
+        ``stats.stored_bytes``. Zeroes the baselines at the bind point."""
+        self._clocks = tuple(clocks)
+        self._device = device
+        self._clock0 = self.now()
+        self._bytes0 = self.stored_bytes()
+
+    # -- meters ------------------------------------------------------------
+
+    def now(self) -> float:
+        """Total virtual work priced so far, across all bound streams."""
+        return sum(clock.clock_ns for clock in self._clocks)
+
+    def stored_bytes(self) -> int:
+        device = self._device
+        return device.stats.stored_bytes if device is not None else 0
+
+    def total_ns(self) -> float:
+        """Virtual nanoseconds elapsed since :meth:`bind`."""
+        return self.now() - self._clock0
+
+    def total_bytes(self) -> int:
+        """Device bytes stored since :meth:`bind`."""
+        return self.stored_bytes() - self._bytes0
+
+    def attributed_ns(self) -> float:
+        """Inclusive time claimed by top-level spans (≤ total_ns)."""
+        return self._root_ns
+
+    def attributed_bytes(self) -> int:
+        return self._root_bytes
+
+    # -- spans -------------------------------------------------------------
+
+    def span_begin(self, name: str, **labels) -> _Frame:
+        frame = _Frame(name, labels, self.now(), self.stored_bytes())
+        self._stack.append(frame)
+        return frame
+
+    def span_end(self, frame: _Frame) -> None:
+        """Close *frame*. Self-healing: frames opened after *frame* and
+        never closed (an exception unwound past their span_end) are
+        discarded — their time folds into *frame*'s self time."""
+        stack = self._stack
+        try:
+            idx = stack.index(frame)
+        except ValueError:
+            return  # already healed away by an outer span_end
+        del stack[idx:]
+        ns = self.now() - frame.start_ns
+        nbytes = self.stored_bytes() - frame.start_bytes
+        agg = self.spans.get(frame.name)
+        if agg is None:
+            agg = self.spans[frame.name] = SpanStats()
+        agg.count += 1
+        agg.total_ns += ns
+        agg.total_bytes += nbytes
+        agg.self_ns += ns - frame.child_ns
+        agg.self_bytes += nbytes - frame.child_bytes
+        if stack:
+            parent = stack[-1]
+            parent.child_ns += ns
+            parent.child_bytes += nbytes
+        else:
+            self._root_ns += ns
+            self._root_bytes += nbytes
+        reg = self.registry
+        reg.counter("span_calls_total", span=frame.name, **frame.labels).inc()
+        reg.histogram("span_ns", span=frame.name).observe(ns)
+
+    @contextmanager
+    def span(self, name: str, **labels):
+        """Context-manager form for cold paths::
+
+            with fs.obs.span("recovery.writeback"):
+                ...
+        """
+        frame = self.span_begin(name, **labels)
+        try:
+            yield frame
+        finally:
+            self.span_end(frame)
+
+    # -- contention (fed by the replay engine) -----------------------------
+
+    def lock_wait(self, key: Hashable, ns: float) -> None:
+        entry = self.lock_waits.get(key)
+        if entry is None:
+            entry = self.lock_waits[key] = [0, 0.0]
+        entry[0] += 1
+        entry[1] += ns
+        self.registry.counter("lock_waits_total").inc()
+        self.registry.histogram("lock_wait_ns").observe(ns)
+
+
+def attach_telemetry(fs, registry: Optional[MetricsRegistry] = None,
+                     telemetry: Optional[Telemetry] = None) -> Telemetry:
+    """Enable telemetry on a mounted file system.
+
+    Binds a :class:`Telemetry` to the filesystem's cost recorders
+    (foreground plus ``bg_recorder`` where one exists) and its device,
+    then points ``fs.obs`` — and the protocol objects that keep their
+    own reference (``fs.mgl``, ``fs.metalog``) — at the live sink.
+    Attach **before** opening handles: per-handle protocol state (e.g.
+    ``MgspFile.shadow``) snapshots ``fs.obs`` at handle creation.
+    """
+    tel = telemetry if telemetry is not None else Telemetry(registry)
+    clocks = [fs.recorder]
+    bg = getattr(fs, "bg_recorder", None)
+    if bg is not None:
+        clocks.append(bg)
+    tel.bind(clocks, fs.device)
+    fs.obs = tel
+    for attr in ("mgl", "metalog"):
+        obj = getattr(fs, attr, None)
+        if obj is not None:
+            obj.obs = tel
+    return tel

@@ -71,8 +71,15 @@ class _Thread:
 class ReplayEngine:
     """Deterministic virtual-time replay of per-thread segment streams."""
 
-    def __init__(self, timing: TimingModel) -> None:
+    def __init__(self, timing: TimingModel, obs=None) -> None:
         self.timing = timing
+        if obs is None:
+            from repro.obs.spans import NULL_SINK
+
+            obs = NULL_SINK
+        #: telemetry sink; when enabled, every satisfied blocked acquire
+        #: reports its wait time for the lock-contention top-N view.
+        self.obs = obs
 
     def run(
         self,
@@ -169,6 +176,8 @@ class ReplayEngine:
                     waiter = threads[waiter_tid]
                     parked.pop(waiter_tid, None)
                     waiter.stats.lock_wait_ns += now - waiter.wait_started
+                    if self.obs.enabled:
+                        self.obs.lock_wait(key, now - waiter.wait_started)
                     if record_timeline and now > waiter.wait_started:
                         timeline.append((waiter_tid, waiter.wait_started, now, "wait"))
                     waiter.cursor += 1  # the lock segment is satisfied

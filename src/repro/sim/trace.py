@@ -36,6 +36,10 @@ class Recorder(Protocol):
 
     timing: TimingModel
     enabled: bool
+    #: accumulated uncontended virtual time (the telemetry clock):
+    #: every priced segment advances it by exactly what
+    #: :meth:`OpTrace.duration_ns` would charge for that segment.
+    clock_ns: float
 
     # -- op lifecycle --------------------------------------------------
     def begin_op(self, name: str) -> None: ...
@@ -94,6 +98,7 @@ class TraceRecorder:
         self.current: Optional[OpTrace] = None
         self.completed: List[OpTrace] = []
         self.enabled = True
+        self.clock_ns = 0.0
 
     # -- op lifecycle ------------------------------------------------------
 
@@ -122,6 +127,14 @@ class TraceRecorder:
     def _emit(self, segment: Segment) -> None:
         if not self.enabled:
             return
+        # Advance the telemetry clock by the uncontended cost of this
+        # segment — the same pricing OpTrace.duration_ns applies, so the
+        # clock always equals the sum over every recorded trace.
+        kind = segment[0]
+        if kind == "compute" or kind == "io":
+            self.clock_ns += segment[1]
+        else:
+            self.clock_ns += self.timing.lock_ns
         if self.current is None:
             self.current = OpTrace(name="ambient")
         self.current.segments.append(segment)
@@ -168,6 +181,8 @@ class TraceRecorder:
 
 class NullRecorder:
     """Recorder that ignores everything (for correctness-only runs)."""
+
+    clock_ns = 0.0  # never advances: nothing is priced
 
     def __init__(self, timing: Optional[TimingModel] = None) -> None:
         self.timing = timing or TimingModel()

@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 
 from repro.bench.harness import run_one
+from repro.obs.registry import Histogram
 from repro.util import fmt_size, parse_size
 from repro.workloads.fio import FioJob
 
@@ -60,6 +61,16 @@ def main(argv=None) -> int:
         f"  latency    : p50={result.latency_percentile(50):,.0f} ns "
         f"p99={result.latency_percentile(99):,.0f} ns"
     )
+    # Distribution summary via the shared repro.obs histogram (same
+    # fixed ns buckets as the telemetry exporters).
+    hist = Histogram("latency_ns", ())
+    for sample in result.latencies_ns:
+        hist.observe(sample)
+    if hist.count:
+        print(
+            f"  histogram  : mean={hist.mean:,.0f} ns max={hist.max:,.0f} ns "
+            f"({len(hist.nonzero_buckets())} buckets)"
+        )
     print(f"  write amp  : {result.write_amplification:.3f}")
     if result.lock_wait_ns:
         print(f"  lock wait  : {result.lock_wait_ns / 1e3:,.1f} us total")

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.fsapi.interface import FileSystem
+from repro.obs.registry import percentile
 from repro.sim.engine import ReplayEngine
 from repro.sim.trace import OpTrace
 PREFILL_CHUNK = 1 << 20
@@ -58,11 +59,7 @@ class FioResult:
 
     def latency_percentile(self, pct: float) -> float:
         """Virtual-time latency percentile (e.g. 50, 99)."""
-        if not self.latencies_ns:
-            return 0.0
-        ordered = sorted(self.latencies_ns)
-        rank = min(len(ordered) - 1, max(0, int(round(pct / 100 * (len(ordered) - 1)))))
-        return ordered[rank]
+        return percentile(self.latencies_ns, pct)
 
     @property
     def mean_latency_ns(self) -> float:
@@ -204,7 +201,7 @@ def run_fio(fs: FileSystem, job: FioJob, filename: str = "fio.dat") -> FioResult
             # channels/locks but its tail does not extend the makespan;
             # demand-driven drains (libnvmmio pressure relief) do.
             daemon = 1 if getattr(fs, "bg_daemon", False) else 0
-        engine = ReplayEngine(fs.timing)
+        engine = ReplayEngine(fs.timing, obs=fs.obs)
         result = engine.run(streams, background=daemon)
         elapsed = result.makespan_ns
         lock_wait = result.total_lock_wait_ns

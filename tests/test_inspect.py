@@ -25,6 +25,29 @@ class TestInspect:
         text = describe_device(fs.device)
         assert "stores" in text and "fences" in text
 
+    def test_describe_device_reports_redundant_ops(self):
+        fs, handle = make()
+        handle.write(0, b"x" * 4096)
+        fs.device.fence()
+        fs.device.fence()  # nothing pending: counted as redundant
+        text = describe_device(fs.device)
+        assert "redundant" in text
+        assert f"{fs.device.stats.redundant_fences:,} fences" in text
+
+    def test_render_breakdown(self):
+        from repro.inspect import render_breakdown
+
+        rows = [("data", 750.0), ("log", 250.0), ("idle", 0.0)]
+        text = render_breakdown(rows, 1000.0, unit="ns")
+        lines = text.splitlines()
+        assert lines[0].split() == ["layer", "ns", "%"]
+        assert "75.0" in text and "25.0" in text
+        assert "idle" in text  # zero rows are kept
+        assert lines[-1].startswith("total")
+        assert "1,000" in lines[-1]
+        # Empty total renders without dividing by zero.
+        assert "0.0" in render_breakdown([("x", 0.0)], 0.0)
+
     def test_describe_volume(self):
         fs, handle = make()
         text = describe_volume(fs.volume)

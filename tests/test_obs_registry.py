@@ -1,0 +1,126 @@
+"""Metrics registry: instruments, label identity, percentile parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_NS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+    render_labels,
+)
+
+
+def _reference_percentile(samples, pct):
+    """The math previously inlined in FioResult.latency_percentile."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = int(round(pct / 100 * (len(ordered) - 1)))
+    rank = min(len(ordered) - 1, max(0, rank))
+    return ordered[rank]
+
+
+@pytest.mark.parametrize("pct", [0, 1, 25, 50, 90, 99, 99.9, 100])
+@pytest.mark.parametrize(
+    "samples",
+    [
+        [5.0],
+        [3.0, 1.0, 2.0],
+        list(range(100)),
+        [7.0] * 10,
+        [2.0 ** i for i in range(20)],
+    ],
+)
+def test_percentile_matches_fio_inline_math(samples, pct):
+    assert percentile(samples, pct) == _reference_percentile(samples, pct)
+
+
+def test_percentile_empty_is_zero():
+    assert percentile([], 50) == 0.0
+
+
+def test_counter_and_gauge_basics():
+    reg = MetricsRegistry()
+    reg.counter("ops_total").inc()
+    reg.counter("ops_total").inc(2.0)
+    assert reg.counter("ops_total").value == 3.0
+
+    reg.gauge("depth").set(4.0)
+    reg.gauge("depth").add(-1.0)
+    assert reg.gauge("depth").value == 3.0
+
+
+def test_label_identity_and_ordering():
+    reg = MetricsRegistry()
+    # Same name+labels -> same instrument, regardless of kwarg order.
+    a = reg.counter("writes_total", fs="MGSP", op="write")
+    b = reg.counter("writes_total", op="write", fs="MGSP")
+    assert a is b
+    # Different label values -> distinct instruments.
+    c = reg.counter("writes_total", fs="MGSP", op="read")
+    assert c is not a
+    assert render_labels(a.labels) == '{fs="MGSP",op="write"}'
+    assert render_labels(()) == ""
+
+
+def test_histogram_accounting():
+    hist = Histogram("lat_ns", ())
+    for v in (10.0, 100.0, 1000.0, 1e12):
+        hist.observe(v)
+    assert hist.count == 4
+    assert hist.sum == pytest.approx(10.0 + 100.0 + 1000.0 + 1e12)
+    assert hist.min == 10.0
+    assert hist.max == 1e12
+    assert hist.mean == pytest.approx(hist.sum / 4)
+    # The 1e12 sample is beyond the last bound -> overflow bucket.
+    assert hist.counts[-1] == 1
+    bounds = [b for b, _ in hist.nonzero_buckets()]
+    assert bounds[-1] == float("inf")
+    assert sum(n for _, n in hist.nonzero_buckets()) == 4
+
+
+def test_histogram_percentile_bounds():
+    hist = Histogram("lat_ns", ())
+    samples = [float(16 << i) for i in range(10)] * 5
+    for v in samples:
+        hist.observe(v)
+    for pct in (0, 50, 90, 99, 100):
+        p = hist.percentile(pct)
+        assert hist.min <= p <= hist.max
+    # Bucketed nearest-rank can only round up to a bucket bound, never
+    # past the observed maximum.
+    assert hist.percentile(100) == hist.max
+    assert Histogram("empty", ()).percentile(50) == 0.0
+
+
+def test_histogram_percentile_vs_exact_within_one_bucket():
+    hist = Histogram("lat_ns", ())
+    samples = [float(i * 37 % 5000 + 1) for i in range(500)]
+    for v in samples:
+        hist.observe(v)
+    for pct in (50, 90, 99):
+        exact = percentile(samples, pct)
+        bucketed = hist.percentile(pct)
+        # Bucketed answer = upper bound of the containing power-of-two
+        # bucket: never below the exact value's bucket lower bound.
+        assert bucketed >= exact / 2
+        assert bucketed <= max(exact * 2, DEFAULT_NS_BUCKETS[0])
+
+
+def test_snapshot_is_deterministic():
+    def build():
+        reg = MetricsRegistry()
+        reg.counter("a_total", k="1").inc(3)
+        reg.gauge("g").set(2.5)
+        h = reg.histogram("h_ns")
+        for v in (1.0, 64.0, 4096.0):
+            h.observe(v)
+        return reg.snapshot()
+
+    assert build() == build()
+    snap = build()
+    assert snap["counters"]['a_total{k="1"}'] == 3.0
+    assert snap["histograms"]["h_ns"]["count"] == 3
