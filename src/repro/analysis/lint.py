@@ -52,6 +52,7 @@ SANCTIONED_STORE_PREFIXES: Tuple[str, ...] = (
     "repro/core",
     "repro/fs",
     "repro/fsapi",
+    "repro/db/pqueue.py",  # durable MPSC queue speaks the device protocol directly
 )
 
 #: module prefixes whose execution must be seed-deterministic (they run
@@ -63,6 +64,8 @@ REPLAYABLE_PREFIXES: Tuple[str, ...] = (
     "repro/fsapi",
     "repro/crashsweep",
     "repro/obs",
+    "repro/infer",
+    "repro/db/pqueue.py",
 )
 
 _STORE_METHODS = frozenset({"store", "nt_store", "store_v", "nt_store_v"})

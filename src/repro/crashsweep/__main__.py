@@ -21,7 +21,7 @@ import sys
 from repro.nvm.crash import CrashPolicy
 
 from repro.crashsweep.sweep import POLICIES, sweep, sweep_unit
-from repro.crashsweep.workloads import CONFIGS, WORKLOADS
+from repro.crashsweep.workloads import CONFIGS, WORKLOADS, get_workload
 
 _POLICY_BY_VALUE = {p.value: p for p in CrashPolicy}
 
@@ -44,8 +44,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--workload",
         action="append",
-        choices=sorted(WORKLOADS),
-        help="workload(s) to sweep (repeatable; default: all)",
+        help="workload(s) to sweep (repeatable; default: all registered; "
+        "repro.infer fixture workloads resolve by name too)",
     )
     parser.add_argument(
         "--configs",
@@ -98,6 +98,10 @@ def main(argv=None) -> int:
 
     policies = [_POLICY_BY_VALUE[name] for name in args.policies]
     workloads = args.workload or sorted(WORKLOADS)
+    try:
+        supported = {w: get_workload(w).supported_configs for w in workloads}
+    except ValueError as exc:
+        parser.error(str(exc))
     kwargs = dict(
         policies=policies,
         budget=args.budget,
@@ -114,6 +118,7 @@ def main(argv=None) -> int:
             sweep_unit(w, c, points=[args.at], **kwargs)
             for w in workloads
             for c in args.configs
+            if c in supported[w]
         ]
         from repro.crashsweep.sweep import SweepReport
 

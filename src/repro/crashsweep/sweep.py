@@ -122,15 +122,21 @@ def minimize_failure(
     oracles: Dict[str, FileOracle],
     chosen: Sequence[int],
     idempotence: bool = True,
+    checker=None,
 ) -> List[int]:
     """Greedy 1-minimal shrink of a failing persisted-word set: drop each
-    word whose removal keeps the image failing. O(n) recoveries."""
+    word whose removal keeps the image failing. O(n) recoveries.
+
+    ``checker`` defaults to the module-level MGSP :func:`check_image`;
+    workloads with their own recovery path (NOVA, pqueue, …) pass their
+    ``check`` method instead."""
     words = list(chosen)
     i = 0
     while i < len(words):
         trial = words[:i] + words[i + 1 :]
         image = bytes(device.crash_image(persist_words=trial))
-        if check_image(image, config_name, oracles, idempotence=idempotence):
+        check = checker if checker is not None else check_image
+        if check(image, config_name, oracles, idempotence=idempotence):
             words = trial
         else:
             i += 1
@@ -181,7 +187,7 @@ def sweep_unit(
                 device, policy, seed=image_seed, persist_probability=PERSIST_PROBABILITY
             )
             report.images_checked += 1
-            violations = check_image(
+            violations = workload.check(
                 image, config_name, outcome.oracles, idempotence=idempotence
             )
             if not violations:
@@ -204,6 +210,7 @@ def sweep_unit(
                         outcome.oracles,
                         chosen,
                         idempotence=idempotence,
+                        checker=workload.check,
                     )
             report.failures.append(failure)
         if progress is not None and (n + 1) % 50 == 0:
@@ -221,10 +228,15 @@ def sweep(
     minimize: bool = True,
     progress=None,
 ) -> SweepReport:
-    """Sweep every requested (workload, config) pair."""
+    """Sweep every requested (workload, config) pair. Configs a workload
+    does not support (``supported_configs``) are skipped, not erred —
+    the non-MGSP backends have no sync/async knob."""
     report = SweepReport()
     for workload_name in workloads or sorted(WORKLOADS):
+        supported = get_workload(workload_name).supported_configs
         for config_name in configs or sorted(CONFIGS):
+            if config_name not in supported:
+                continue
             report.units.append(
                 sweep_unit(
                     workload_name,

@@ -1,0 +1,99 @@
+"""Deterministic JSON report for one inference run.
+
+Reports contain only ints, strings, bools, and sorted structures — no
+timestamps, floats, or hash-order leakage — so two runs with identical
+inputs emit byte-identical JSON (an acceptance criterion and a CI
+check). Keep it that way.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.infer.falsify import REFUTED_BENIGN, TRUE_BUG, Verdict
+
+
+def _candidate_entry(verdict: Verdict, reproducer_prefix: str) -> dict:
+    c = verdict.candidate
+    entry = {
+        "family": c.family,
+        "a": c.a,
+        "b": c.b,
+        "invariant": c.describe(),
+        "support": c.support,
+        "violations": c.violations,
+        "durability": c.durability,
+        "runs": {"present": c.runs_present, "total": c.runs_total},
+        "status": verdict.status,
+        "reason": verdict.reason,
+        "target_points": verdict.target_points,
+        "probes": verdict.probes,
+    }
+    if c.witness is not None:
+        entry["witness"] = c.witness
+    if c.violation_witness is not None:
+        entry["violation_witness"] = c.violation_witness
+    if verdict.minimized_words is not None:
+        entry["minimized_words"] = verdict.minimized_words
+    if verdict.retirement is not None:
+        entry["retirement"] = verdict.retirement
+    if verdict.reproducer is not None:
+        entry["reproducer"] = verdict.reproducer
+    elif verdict.status == TRUE_BUG:
+        at = verdict.target_points[0] if verdict.target_points else 0
+        entry["reproducer"] = f"{reproducer_prefix} (surgical probe at event {at})"
+    return entry
+
+
+def build_report(
+    fs_alias: str,
+    workload_alias: str,
+    workload_name: str,
+    config_name: str,
+    traces,
+    verdicts: List[Verdict],
+    budget: int,
+    seed: int,
+    min_support: int,
+) -> dict:
+    reproducer_prefix = (
+        f"python -m repro.infer --fs {fs_alias} --workload {workload_alias}"
+        f" --budget {budget} --seed {seed}"
+    )
+    by_status: dict = {}
+    confirmed_families = sorted(
+        {v.candidate.family for v in verdicts if v.status == "confirmed"}
+    )
+    for v in verdicts:
+        by_status[v.status] = by_status.get(v.status, 0) + 1
+    return {
+        "subject": {
+            "fs": fs_alias,
+            "workload": workload_alias,
+            "registry_workload": workload_name,
+            "config": config_name,
+        },
+        "parameters": {
+            "budget": budget,
+            "seed": seed,
+            "min_support": min_support,
+            "runs": len(traces),
+        },
+        "trace": {
+            "events": len(traces[0].events) if traces else 0,
+            "ops": traces[0].ops if traces else 0,
+            "saturated": any(t.saturated for t in traces),
+        },
+        "candidates": [_candidate_entry(v, reproducer_prefix) for v in verdicts],
+        "summary": dict(sorted(by_status.items())),
+        "confirmed_families": confirmed_families,
+        "true_bugs": sum(1 for v in verdicts if v.status == TRUE_BUG),
+        "unretired_benign": sum(1 for v in verdicts if v.status == REFUTED_BENIGN),
+    }
+
+
+def render(report: dict) -> str:
+    """Canonical serialization: sorted keys, 2-space indent, one
+    trailing newline."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
