@@ -8,6 +8,8 @@ Usage::
     python -m repro.bench -o report.txt   # also write a report file
     python -m repro.bench tab02 --breakdown tab02.obs.json
                                           # + per-run telemetry sidecar
+    python -m repro.bench fig08-write --profile fig08.pstats
+                                          # + cProfile sidecar (pstats)
 
 This is the reproduction's equivalent of the artifact's
 ``evaluation/fio/scripts/run_all.sh``.
@@ -34,6 +36,13 @@ def main(argv=None) -> int:
         help="write a JSON sidecar with per-run telemetry breakdowns "
         "(fig13-style layer attribution for every figure run)",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="run the selected experiments under cProfile and dump pstats "
+        "data to FILE (inspect with `python -m pstats FILE`); the top "
+        "cumulative functions are printed to stderr",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -48,9 +57,17 @@ def main(argv=None) -> int:
         breakdowns = []
         collect_breakdowns(breakdowns)
 
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
     sections = []
     start = time.time()
     try:
+        if profiler is not None:
+            profiler.enable()
         for name, text in run_all(
             args.experiments or None,
             progress=lambda n: print(f"[{time.time() - start:6.1f}s] running {n} ...", file=sys.stderr),
@@ -59,10 +76,20 @@ def main(argv=None) -> int:
             print(block)
             sections.append(block)
     finally:
+        if profiler is not None:
+            profiler.disable()
         if breakdowns is not None:
             from repro.bench.harness import collect_breakdowns
 
             collect_breakdowns(None)
+
+    if profiler is not None:
+        import pstats
+
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(15)
+        print(f"profile data written to {args.profile}", file=sys.stderr)
 
     if args.output:
         with open(args.output, "w") as fh:

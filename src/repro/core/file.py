@@ -17,16 +17,26 @@ from repro.util import align_down
 
 def _coalesce(writes):
     """Merge adjacent device writes (e.g. sibling leaf logs allocated
-    back-to-back) so they cost one media op like one large store."""
+    back-to-back) so they cost one media op like one large store.
+
+    Payloads are gathered as chunk lists and joined once per merged run
+    — no incremental bytearray growth, and a run of one chunk passes the
+    original buffer (often a zero-copy planner slice) straight through.
+    """
     if len(writes) <= 1:
         return writes
-    merged = []
+    merged = []  # [offset, end, [payload chunks]]
     for off, payload in writes:
-        if merged and merged[-1][0] + len(merged[-1][1]) == off:
-            merged[-1][1] += payload
+        if merged and merged[-1][1] == off:
+            last = merged[-1]
+            last[1] += len(payload)
+            last[2].append(payload)
         else:
-            merged.append([off, bytearray(payload)])
-    return [(off, bytes(buf)) for off, buf in merged]
+            merged.append([off, off + len(payload), [payload]])
+    return [
+        (off, chunks[0] if len(chunks) == 1 else b"".join(chunks))
+        for off, _end, chunks in merged
+    ]
 
 
 class MgspFile(FileHandle):

@@ -65,6 +65,16 @@ class WritePlan:
     #: shadow-logging-off ablation: (node, src_off, dst_off, length) copies
     #: performed after commit, then the node's word is cleared.
     checkpoints: List[Tuple[Node, int, int, int]] = field(default_factory=list)
+    #: coarse tail-merge state (see ``ShadowLog._append_coarse``): index
+    #: of the last coarse append in ``data_writes`` and the [start, end)
+    #: slice of the caller's buffer it carries. Source- and
+    #: target-adjacent coarse writes extend that slice in place instead
+    #: of concatenating payloads later — the pairs merged here are
+    #: exactly pairs ``_coalesce`` would merge anyway (target-adjacent),
+    #: so the device-visible write segmentation is unchanged.
+    _tail_idx: int = -1
+    _tail_src_start: int = -1
+    _tail_src_end: int = -1
 
 
 def _ordinal(tree: RadixTree, node: Node) -> int:
@@ -204,6 +214,29 @@ class ShadowLog:
                 child_off, child_end - child_off, data, data_base,
             )
 
+    @staticmethod
+    def _append_coarse(
+        plan: WritePlan, target: int, data: bytes, src_start: int, src_end: int
+    ) -> None:
+        """Append a coarse payload as a zero-copy slice of the caller's
+        buffer, extending the previous coarse write in place when both
+        the device target and the source slice are contiguous (adjacent
+        sibling terminals of one large write)."""
+        dw = plan.data_writes
+        if (
+            plan._tail_idx == len(dw) - 1
+            and plan._tail_src_end == src_start
+            and dw
+            and dw[-1][0] + (src_start - plan._tail_src_start) == target
+        ):
+            dw[-1] = (dw[-1][0], memoryview(data)[plan._tail_src_start : src_end])
+            plan._tail_src_end = src_end
+            return
+        dw.append((target, memoryview(data)[src_start:src_end]))
+        plan._tail_idx = len(dw) - 1
+        plan._tail_src_start = src_start
+        plan._tail_src_end = src_end
+
     def _plan_coarse_terminal(
         self,
         plan: WritePlan,
@@ -216,7 +249,8 @@ class ShadowLog:
         data_base: int,
         off: int,
     ) -> None:
-        payload = data[off - data_base : off - data_base + node.size]
+        src_start = off - data_base
+        src_end = src_start + node.size
         ordinal = _ordinal(self.tree, node)
         shadow = self.config.shadow_logging
         valid_now = eff.valid or is_root
@@ -228,7 +262,9 @@ class ShadowLog:
             self.stats.coarse_commits += 1
             target = last_base + (off - last_start)
             limit = self._target_limit(last_base)
-            plan.data_writes.append((target, payload[: max(0, limit - target)]))
+            if limit - target < node.size:
+                src_end = src_start + max(0, limit - target)
+            self._append_coarse(plan, target, data, src_start, src_end)
             word = bitmap.pack_nonleaf(False, False, plan.gen, plan.gen)
             plan.commits.append((node, word, MetaSlot(ordinal, False, False)))
             return
@@ -240,7 +276,7 @@ class ShadowLog:
             node.log_off = self.alloc.alloc(node.size)
             plan.new_logs.append(node)
             self.stats.logs_allocated += 1
-        plan.data_writes.append((node.log_off, payload))
+        self._append_coarse(plan, node.log_off, data, src_start, src_end)
         word = bitmap.pack_nonleaf(True, False, plan.gen, plan.gen)
         plan.commits.append((node, word, MetaSlot(ordinal, False, True)))
         if not shadow:

@@ -12,20 +12,40 @@ Semantics (matching x86 + ADR persistence):
 Word (8-byte) granularity is the atomicity unit: an aligned 8-byte store
 never tears, anything larger may persist partially.
 
-The crash-image candidate set (``unfenced_words``) is maintained
-incrementally: ``touched`` tracks the word-aligned ranges stored since
-they were last made durable, so composing a crash image scans only those
-ranges instead of re-walking every dirty/pending byte; the resulting
-word list is additionally memoized until the next mutation.
+Representation (array-native core)
+==================================
+
+The dirty (stored-not-flushed), pending (flushed-not-fenced) and touched
+(stored-since-durable) sets are cache-line/word-granular chunked bitmaps
+(:class:`repro.nvm.bitmap.RangeBitmap`) instead of sorted interval
+lists: a bulk store is a single ``bytearray`` slice assignment plus a
+few chunk-mask ORs, and scattered small stores OR one bit into one small
+int instead of splicing a Python list.  Bulk copies between the working
+and durable images go through persistent ``memoryview``\\ s so a fence
+moves bytes once (no intermediate slice materialisation).
+
+``pending`` and ``touched`` are additionally maintained *lazily*: the
+store paths append raw ranges to ``_pending_log``/``_touched_log`` and
+the logs are folded into the bitmaps only when set semantics are needed
+(fence-with-dirty, external inspection); the common fence replays the
+raw ranges directly (idempotent) and drops both wholesale.
+
+The crash-image candidate set (``unfenced_words``) scans only touched
+runs — in ascending offset order, exactly the order the interval-based
+tracker produced — so ``choose_persist_words`` yields identical subsets
+from the same seed across the representation change; the word list is
+memoized until the next mutation.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import OutOfRangeError, TornWriteError
-from repro.nvm.intervals import IntervalSet
+from repro.nvm.bitmap import RangeBitmap
 from repro.util import ATOMIC_UNIT, CACHE_LINE
 
 # Alignment masks (power-of-two sizes): x & _LINE_MASK == align_down,
@@ -33,7 +53,13 @@ from repro.util import ATOMIC_UNIT, CACHE_LINE
 # these run several times per simulated write.
 _LINE = CACHE_LINE
 _LINE_MASK = -CACHE_LINE
+_LINE_SHIFT = CACHE_LINE.bit_length() - 1
 _WORD_MASK = -ATOMIC_UNIT
+
+#: touched runs at least this long diff working vs durable through a
+#: vectorized uint64 compare; shorter runs stay on the per-word loop
+#: (less constant overhead). Both scans emit words in ascending order.
+_VECTOR_SCAN_BYTES = 1024
 
 
 def choose_persist_words(
@@ -53,25 +79,31 @@ class StoreBuffer:
         self.size = size
         self.working = bytearray(size)  # what loads observe
         self.durable = bytearray(size)  # what survives a crash (fenced)
-        self.dirty = IntervalSet()  # stored, not flushed
+        #: persistent views for single-pass bulk copies (a bytearray
+        #: slice on either side of an assignment would materialise an
+        #: intermediate copy). The arrays never resize, so the exported
+        #: buffers stay valid for the buffer's lifetime.
+        self._wmv = memoryview(self.working)
+        self._dmv = memoryview(self.durable)
+        self.dirty = RangeBitmap(CACHE_LINE)  # stored, not flushed
         #: flushed, not fenced. Like ``touched``, maintained lazily: the
         #: non-temporal store paths append line-aligned ranges to
-        #: ``_pending_log`` and the log is folded in only when interval
+        #: ``_pending_log`` and the log is folded in only when set
         #: semantics are needed (fence-with-dirty, external inspection);
         #: the common fence just replays the raw ranges (idempotent).
-        self.pending = IntervalSet()
+        self.pending = RangeBitmap(CACHE_LINE)
         self._pending_log: List[tuple] = []
         #: word-aligned ranges stored since last made durable; always a
         #: superset of the words where working and durable differ.
         #: Maintained lazily: stores append to ``_touched_log`` and the
-        #: log is folded into the set only when someone needs it
+        #: log is folded into the bitmap only when someone needs it
         #: (fence-with-dirty, unfenced_words) — the common fence drops
         #: both wholesale.
-        self.touched = IntervalSet()
+        self.touched = RangeBitmap(ATOMIC_UNIT)
         self._touched_log: List[tuple] = []
         self._uw_cache: Optional[List[int]] = None
 
-    def _consolidate_touched(self) -> IntervalSet:
+    def _consolidate_touched(self) -> RangeBitmap:
         log = self._touched_log
         if log:
             touched = self.touched
@@ -80,7 +112,7 @@ class StoreBuffer:
             log.clear()
         return self.touched
 
-    def _consolidate_pending(self) -> IntervalSet:
+    def _consolidate_pending(self) -> RangeBitmap:
         log = self._pending_log
         if log:
             pending = self.pending
@@ -89,18 +121,18 @@ class StoreBuffer:
             log.clear()
         return self.pending
 
-    def pending_set(self) -> IntervalSet:
-        """The flushed-not-fenced interval set (consolidated view)."""
+    def pending_set(self) -> RangeBitmap:
+        """The flushed-not-fenced line bitmap (consolidated view)."""
         return self._consolidate_pending()
 
     def has_pending(self) -> bool:
         """Whether a fence would make anything durable (cheap: checks
-        the raw log before touching interval semantics)."""
+        the raw log before consolidating the bitmap)."""
         return bool(self._pending_log) or bool(self.pending)
 
     # -- the persistence primitives ---------------------------------------
 
-    def store(self, offset: int, data: bytes) -> None:
+    def store(self, offset: int, data) -> None:
         end = offset + len(data)
         if offset < 0 or end > self.size:
             raise OutOfRangeError(f"store [{offset}, {end}) outside device of {self.size}")
@@ -109,7 +141,31 @@ class StoreBuffer:
         self._touched_log.append((offset & _WORD_MASK, (end + ATOMIC_UNIT - 1) & _WORD_MASK))
         self._uw_cache = None
 
-    def nt_store(self, offset: int, data: bytes) -> int:
+    def store_v(self, writes: Sequence[Tuple[int, bytes]]) -> int:
+        """Bulk :meth:`store`: identical per-element state transitions,
+        shared attribute lookups. Validates every element up front and
+        raises before mutating anything, so a caller can fall back to
+        the per-element path for exact partial-application semantics.
+        Returns total bytes stored."""
+        size = self.size
+        for offset, data in writes:
+            if offset < 0 or offset + len(data) > size:
+                end = offset + len(data)
+                raise OutOfRangeError(f"store [{offset}, {end}) outside device of {size}")
+        working = self.working
+        dirty = self.dirty
+        tlog = self._touched_log
+        total = 0
+        for offset, data in writes:
+            end = offset + len(data)
+            working[offset:end] = data
+            dirty.add(offset & _LINE_MASK, (end + _LINE - 1) & _LINE_MASK)
+            tlog.append((offset & _WORD_MASK, (end + ATOMIC_UNIT - 1) & _WORD_MASK))
+            total += end - offset
+        self._uw_cache = None
+        return total
+
+    def nt_store(self, offset: int, data) -> int:
         """Fused store + flush of exactly the stored range (non-temporal
         store). Equivalent to ``store`` followed by ``flush`` over the
         same bytes — the just-stored lines are always dirty, so the
@@ -127,7 +183,36 @@ class StoreBuffer:
         self._pending_log.append((start, aend))
         self._touched_log.append((offset & _WORD_MASK, (end + ATOMIC_UNIT - 1) & _WORD_MASK))
         self._uw_cache = None
-        return (aend - start) // _LINE
+        return (aend - start) >> _LINE_SHIFT
+
+    def nt_store_v(self, writes: Sequence[Tuple[int, bytes]]) -> Tuple[int, int]:
+        """Bulk :meth:`nt_store`; validates up front (see
+        :meth:`store_v`). Returns (total bytes, total lines queued)."""
+        size = self.size
+        for offset, data in writes:
+            if offset < 0 or offset + len(data) > size:
+                end = offset + len(data)
+                raise OutOfRangeError(f"store [{offset}, {end}) outside device of {size}")
+        working = self.working
+        # A batch only removes from dirty, so emptiness checked once holds.
+        dirty = self.dirty if self.dirty else None
+        plog = self._pending_log
+        tlog = self._touched_log
+        total = 0
+        lines = 0
+        for offset, data in writes:
+            end = offset + len(data)
+            working[offset:end] = data
+            start = offset & _LINE_MASK
+            aend = (end + _LINE - 1) & _LINE_MASK
+            if dirty is not None:
+                dirty.remove(start, aend)
+            plog.append((start, aend))
+            tlog.append((offset & _WORD_MASK, (end + ATOMIC_UNIT - 1) & _WORD_MASK))
+            total += end - offset
+            lines += (aend - start) >> _LINE_SHIFT
+        self._uw_cache = None
+        return total, lines
 
     def nt_store_word(self, offset: int, value: int) -> None:
         """:meth:`nt_store` specialized for one aligned 8-byte word (the
@@ -176,7 +261,9 @@ class StoreBuffer:
         end = offset + length
         if offset < 0 or end > self.size:
             raise OutOfRangeError(f"load [{offset}, {end}) outside device of {self.size}")
-        return bytes(self.working[offset:end])
+        # One copy: a bytearray slice would materialise an intermediate
+        # bytearray before bytes() copied it again.
+        return bytes(self._wmv[offset:end])
 
     def load_u64(self, offset: int) -> int:
         return int.from_bytes(self.load(offset, 8), "little")
@@ -195,17 +282,40 @@ class StoreBuffer:
         plog = self._pending_log
         for s, e in self.dirty.iter_intersect(start, end):
             plog.append((s, e))
-            nlines += (e - s) // _LINE
+            nlines += (e - s) >> _LINE_SHIFT
         if nlines:
             self.dirty.remove(start, end)
         return nlines
 
+    def flush_v(self, ranges: Sequence[Tuple[int, int]]) -> Tuple[int, int]:
+        """Bulk :meth:`flush`; returns (total lines, redundant calls) —
+        a call is redundant when every covered line was already clean."""
+        lines = 0
+        redundant = 0
+        dirty = self.dirty
+        plog = self._pending_log
+        for offset, length in ranges:
+            if not dirty:
+                redundant += 1
+                continue
+            start = offset & _LINE_MASK
+            end = (offset + length + _LINE - 1) & _LINE_MASK
+            nlines = 0
+            for s, e in dirty.iter_intersect(start, end):
+                plog.append((s, e))
+                nlines += (e - s) >> _LINE_SHIFT
+            if nlines:
+                dirty.remove(start, end)
+                lines += nlines
+            else:
+                redundant += 1
+        return lines, redundant
+
     def fence(self) -> None:
         """sfence: everything previously flushed becomes durable."""
-        working = self.working
-        durable = self.durable
-        dirty = self.dirty
-        if not dirty:
+        wmv = self._wmv
+        dmv = self._dmv
+        if not self.dirty:
             # Common case: every store since the last fence was also
             # flushed, so the popped pending set covers all of touched
             # (touched ⊆ dirty ∪ pending always holds) — drop it whole.
@@ -213,20 +323,21 @@ class StoreBuffer:
             # overlapping ranges just copy the same bytes twice.
             pending = self.pending
             if pending:
-                for start, end in pending:
-                    durable[start:end] = working[start:end]
+                for start, end in pending.runs():
+                    dmv[start:end] = wmv[start:end]
                 pending.clear()
             for start, end in self._pending_log:
-                durable[start:end] = working[start:end]
+                dmv[start:end] = wmv[start:end]
             self._pending_log.clear()
             if self.touched:
                 self.touched.clear()
             self._touched_log.clear()
             self._uw_cache = None
             return
+        dirty = self.dirty
         touched = self._consolidate_touched()
-        for start, end in self._consolidate_pending().pop_all():
-            durable[start:end] = working[start:end]
+        for start, end in self._consolidate_pending().pop_runs():
+            dmv[start:end] = wmv[start:end]
             # The fenced words now match durably; keep only the parts
             # that were re-dirtied after the flush as crash candidates.
             if touched.overlaps(start, end):
@@ -253,23 +364,37 @@ class StoreBuffer:
 
     # -- crash-image composition ------------------------------------------
 
+    def _diff_words(self, start: int, end: int, words: List[int]) -> None:
+        """Append offsets of words differing between working and durable
+        inside [start, end), ascending. Long runs use one vectorized
+        uint64 compare; short runs use the per-word loop — same output."""
+        if end - start >= _VECTOR_SCAN_BYTES:
+            n = (end - start) >> 3
+            w = np.frombuffer(self.working, dtype=np.uint64, count=n, offset=start)
+            d = np.frombuffer(self.durable, dtype=np.uint64, count=n, offset=start)
+            diff = np.flatnonzero(w != d)
+            if len(diff):
+                words.extend((start + (diff << 3)).tolist())
+            return
+        working = self.working
+        durable = self.durable
+        if working[start:end] == durable[start:end]:
+            return
+        for off in range(start, end, ATOMIC_UNIT):
+            if working[off : off + 8] != durable[off : off + 8]:
+                words.append(off)
+
     def unfenced_words(self) -> List[int]:
         """Offsets of every 8-byte word that differs between the working
         and durable images and has not been fenced.
 
         Memoized until the next store/fence/drain; the scan itself only
-        visits ``touched`` ranges rather than every dirty/pending line.
+        visits ``touched`` runs rather than every dirty/pending line.
         """
         if self._uw_cache is None:
             words: List[int] = []
-            working = self.working
-            durable = self.durable
-            for start, end in self._consolidate_touched():
-                if working[start:end] == durable[start:end]:
-                    continue
-                for off in range(start, end, ATOMIC_UNIT):
-                    if working[off : off + 8] != durable[off : off + 8]:
-                        words.append(off)
+            for start, end in self._consolidate_touched().runs():
+                self._diff_words(start, end, words)
             self._uw_cache = words
         return list(self._uw_cache)
 
@@ -280,8 +405,8 @@ class StoreBuffer:
         reports the identical word set.
         """
         words: List[int] = []
-        for interval_set in (self.dirty, self._consolidate_pending()):
-            for start, end in interval_set:
+        for line_bitmap in (self.dirty, self._consolidate_pending()):
+            for start, end in line_bitmap.runs():
                 for off in range(start, end, ATOMIC_UNIT):
                     if self.working[off : off + 8] != self.durable[off : off + 8]:
                         words.append(off)

@@ -6,6 +6,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Tuple
 
+from repro.errors import OutOfRangeError
 from repro.nvm.cache import StoreBuffer
 from repro.nvm.crash import CrashPlan
 from repro.nvm.timing import OptaneTiming, TimingModel
@@ -123,12 +124,29 @@ class NvmDevice:
     # where the equivalent unbatched sequence would.
 
     def store_v(self, writes: Sequence[Tuple[int, bytes]]) -> None:
-        """Vectorized cached store of (offset, data) pairs."""
+        """Vectorized cached store of (offset, data) pairs.
+
+        With no observer attached, the whole batch is one bulk buffer
+        call (identical per-element state transitions, no per-element
+        Python dispatch). The bulk path validates *before* mutating, so
+        on a bad element we fall through to the per-element loop to
+        reproduce exact partial-application semantics: same prefix
+        applied, same counters, same exception.
+        """
         crash_plan = self.crash_plan
         buffer = self.buffer
         stats = self.stats
         tracer = self.tracer
         tap = self.analysis_tap
+        if crash_plan is None and tracer is None and tap is None:
+            try:
+                total = buffer.store_v(writes)
+            except OutOfRangeError:
+                pass  # replay per-element below for exact partial state
+            else:
+                stats.stores += len(writes)
+                stats.stored_bytes += total
+                return
         total = 0
         try:
             for offset, data in writes:
@@ -145,12 +163,26 @@ class NvmDevice:
             stats.stored_bytes += total
 
     def nt_store_v(self, writes: Sequence[Tuple[int, bytes]]) -> None:
-        """Vectorized non-temporal store of (offset, data) pairs."""
+        """Vectorized non-temporal store of (offset, data) pairs.
+
+        Same bulk/fallback structure as :meth:`store_v`.
+        """
         crash_plan = self.crash_plan
         buffer = self.buffer
         stats = self.stats
         tracer = self.tracer
         tap = self.analysis_tap
+        if crash_plan is None and tracer is None and tap is None:
+            try:
+                # analysis: allow(unfenced-nt-store) -- this *is* the primitive; ordering is the caller's contract
+                total, lines = buffer.nt_store_v(writes)
+            except OutOfRangeError:
+                pass  # replay per-element below for exact partial state
+            else:
+                stats.stores += len(writes)
+                stats.stored_bytes += total
+                stats.flushed_lines += lines
+                return
         total = 0
         lines = 0
         try:
@@ -206,6 +238,12 @@ class NvmDevice:
         stats = self.stats
         tracer = self.tracer
         tap = self.analysis_tap
+        if crash_plan is None and tracer is None and tap is None:
+            lines, redundant = buffer.flush_v(ranges)
+            stats.flushed_lines += lines
+            stats.flush_calls += len(ranges)
+            stats.redundant_flushes += redundant
+            return
         lines = 0
         calls = 0
         redundant = 0

@@ -102,6 +102,26 @@ class IntervalSet:
         if start >= end:
             return
         starts, ends = self._starts, self._ends
+        if starts:
+            last_end = ends[-1]
+            if start > last_end:
+                # Append-at-end: strictly past the last interval — the
+                # common shape for ascending scans (crashsweep census,
+                # sequential writers). O(1) instead of two bisects and a
+                # list splice.
+                starts.append(start)
+                ends.append(end)
+                return
+            if start >= starts[-1]:
+                # Touches or overlaps only the last interval: extend in
+                # place (sequential writers growing one run).
+                if end > last_end:
+                    ends[-1] = end
+                return
+            idx = bisect_right(starts, start) - 1
+            if idx >= 0 and end <= ends[idx]:
+                # Fully contained in one existing interval: no-op.
+                return
         lo = bisect_left(ends, start)
         hi = bisect_right(starts, end)
         if lo < hi:

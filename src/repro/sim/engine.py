@@ -52,6 +52,37 @@ class ReplayResult:
         return total_bytes / (self.makespan_ns * 1e-9)
 
 
+def _batch_segments(segments: List[Segment]) -> List[Segment]:
+    """Coalesce runs of consecutive compute segments into one
+    ``("computes", (ns, ns, ...))`` dispatch.
+
+    Compute segments advance only the owning thread, so the run's
+    intermediate wake-ups cannot interact with locks, channels, or other
+    threads — only the arrival time at the next shared-state segment
+    matters. The batched handler replays the per-segment float additions
+    in the original order, so clocks and compute_ns accumulate through
+    the bit-identical sequence of operations; the batching removes one
+    heap push/pop and one dispatch per merged segment.
+    """
+    out: List[Segment] = []
+    i, n = 0, len(segments)
+    while i < n:
+        segment = segments[i]
+        if segment[0] == "compute":
+            j = i + 1
+            while j < n and segments[j][0] == "compute":
+                j += 1
+            if j - i > 1:
+                out.append(("computes", tuple(s[1] for s in segments[i:j])))
+            else:
+                out.append(segment)
+            i = j
+        else:
+            out.append(segment)
+            i += 1
+    return out
+
+
 class _Thread:
     __slots__ = ("tid", "segments", "cursor", "clock", "stats", "wait_started")
 
@@ -86,17 +117,29 @@ class ReplayEngine:
         per_thread_traces: Sequence[Sequence[OpTrace]],
         record_timeline: bool = False,
         background: int = 0,
+        batch_ops: bool = True,
     ) -> ReplayResult:
         """Replay the streams; the last *background* streams are daemon
         threads (e.g. the MGSP async write-back flusher): they contend
         for NVM channels and locks like any other thread, but their tail
         does not extend the makespan — application throughput is judged
-        by when the foreground threads finish."""
+        by when the foreground threads finish.
+
+        With ``batch_ops`` (the default), runs of consecutive compute
+        segments are coalesced into single dispatches at flatten time
+        (see :func:`_batch_segments`); disabled automatically when a
+        timeline is recorded, since the timeline wants one entry per
+        original segment. Pass ``batch_ops=False`` to force the
+        segment-at-a-time loop (the differential-testing reference).
+        """
+        batch = batch_ops and not record_timeline
         threads = []
         for tid, traces in enumerate(per_thread_traces):
             segments: List[Segment] = []
             for trace in traces:
                 segments.extend(trace.segments)
+            if batch:
+                segments = _batch_segments(segments)
             thread = _Thread(tid, segments)
             thread.stats.ops = len(traces)
             threads.append(thread)
@@ -136,6 +179,19 @@ class ReplayEngine:
                 if record_timeline and segment[1] > 0:
                     timeline.append((tid, now, thread.clock, "compute"))
                 wake(thread, thread.clock)
+
+            elif kind == "computes":
+                # Batched compute run: replay the additions one segment
+                # at a time so clock and compute_ns go through the exact
+                # float-operation sequence of the unbatched loop.
+                thread.cursor += 1
+                clock = now
+                stats = thread.stats
+                for ns in segment[1]:
+                    clock += ns
+                    stats.compute_ns += ns
+                thread.clock = clock
+                wake(thread, clock)
 
             elif kind == "io":
                 thread.cursor += 1

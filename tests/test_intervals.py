@@ -171,3 +171,50 @@ class TestProperties:
             s.add(start, end)
         got = model_points(s.intersect(lo, hi))
         assert got == model_points(s) & set(range(lo, hi))
+
+
+class TestAddFastPaths:
+    """The O(1) add shortcuts (append-at-end, last-interval extension,
+    full containment) must be invisible: same set as the general path."""
+
+    def test_append_at_end(self):
+        s = IntervalSet()
+        for i in range(5):
+            s.add(i * 100, i * 100 + 10)
+        assert list(s) == [(i * 100, i * 100 + 10) for i in range(5)]
+
+    def test_touching_end_coalesces(self):
+        s = IntervalSet([(0, 10)])
+        s.add(10, 20)
+        assert list(s) == [(0, 20)]
+
+    def test_overlapping_end_extends(self):
+        s = IntervalSet([(0, 10)])
+        s.add(5, 30)
+        assert list(s) == [(0, 30)]
+
+    def test_extension_inside_last_is_noop(self):
+        s = IntervalSet([(0, 100)])
+        s.add(50, 60)
+        assert list(s) == [(0, 100)]
+
+    def test_full_containment_in_earlier_interval(self):
+        s = IntervalSet([(0, 100), (200, 300)])
+        s.add(10, 20)
+        assert list(s) == [(0, 100), (200, 300)]
+
+    def test_containment_check_does_not_miss_bridges(self):
+        # Spans the gap between two intervals: must still merge.
+        s = IntervalSet([(0, 100), (200, 300)])
+        s.add(50, 250)
+        assert list(s) == [(0, 300)]
+
+    @given(ranges)
+    def test_ascending_adds_match_shuffled_adds(self, rs):
+        ordered = IntervalSet()
+        for start, end in sorted(rs):
+            ordered.add(start, end)
+        shuffled = IntervalSet()
+        for start, end in reversed(rs):
+            shuffled.add(start, end)
+        assert ordered == shuffled

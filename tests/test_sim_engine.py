@@ -171,3 +171,73 @@ class TestReplayBasics:
         engine = ReplayEngine(timing())
         assert engine.run([]).makespan_ns == 0.0
         assert engine.run([[], []]).makespan_ns == 0.0
+
+
+class TestBatchedReplayDifferential:
+    """batch_ops=True must be invisible: identical ReplayResult to the
+    segment-at-a-time loop on real recorded workloads."""
+
+    def _compare(self, streams, background=0, lock_ns=0.0, channels=4):
+        engine = ReplayEngine(timing(channels=channels, lock_ns=lock_ns))
+        batched = engine.run(streams, background=background, batch_ops=True)
+        reference = engine.run(streams, background=background, batch_ops=False)
+        assert batched.makespan_ns == reference.makespan_ns
+        assert batched.threads == reference.threads
+        assert batched.total_lock_wait_ns == reference.total_lock_wait_ns
+
+    def test_fio_multithread_traces(self, monkeypatch):
+        from repro.bench.registry import make_fs
+        from repro.sim import engine as engine_mod
+        from repro.workloads.fio import FioJob, run_fio
+
+        captured = []
+        orig_run = engine_mod.ReplayEngine.run
+
+        def capture(self, streams, record_timeline=False, background=0, batch_ops=True):
+            captured.append((list(streams), background))
+            return orig_run(self, streams, record_timeline, background, batch_ops)
+
+        monkeypatch.setattr(engine_mod.ReplayEngine, "run", capture)
+        run_fio(
+            make_fs("MGSP", device_size=64 << 20),
+            FioJob(op="randwrite", bs=4096, fsize=4 << 20, threads=4, nops=120),
+        )
+        monkeypatch.undo()  # _compare must hit the real run()
+        assert captured, "multithread fio run never hit the replay engine"
+        for streams, background in list(captured):
+            self._compare(streams, background=background, lock_ns=80.0)
+
+    def test_lock_heavy_synthetic_traces(self):
+        # Interleaved compute runs around contended lock acquisitions.
+        streams = []
+        for t in range(3):
+            segs = []
+            for i in range(40):
+                segs.append(("compute", 10.0 + t))
+                segs.append(("compute", 0.5 * i))
+                segs.append(("lock", "K", "W"))
+                segs.append(("compute", 3.0))
+                segs.append(("unlock", "K"))
+                segs.append(("io", 100.0, 140.0))
+            streams.append([OpTrace(name=f"t{t}", segments=segs)])
+        self._compare(streams, lock_ns=50.0, channels=2)
+
+    def test_batching_disabled_when_recording_timeline(self):
+        segs = [("compute", 5.0), ("compute", 7.0), ("io", 10.0)]
+        streams = [[OpTrace(name="t", segments=segs)]]
+        engine = ReplayEngine(timing())
+        result = engine.run(streams, record_timeline=True, batch_ops=True)
+        # One timeline entry per original compute segment.
+        computes = [ev for ev in result.timeline if ev[3] == "compute"]
+        assert len(computes) == 2
+
+    def test_compute_run_arithmetic_is_sequential(self):
+        # Float additions must replay in original order: (t+a)+b, not
+        # t+(a+b). Values chosen so the two groupings differ in ulps.
+        vals = [0.1, 0.2, 0.3, 1e-9, 7.7]
+        streams = [[OpTrace(name="t", segments=[("compute", v) for v in vals])]]
+        engine = ReplayEngine(timing())
+        batched = engine.run(streams, batch_ops=True)
+        reference = engine.run(streams, batch_ops=False)
+        assert batched.makespan_ns == reference.makespan_ns
+        assert batched.threads[0].compute_ns == reference.threads[0].compute_ns
