@@ -66,6 +66,7 @@ REPLAYABLE_PREFIXES: Tuple[str, ...] = (
     "repro/obs",
     "repro/infer",
     "repro/db/pqueue.py",
+    "repro/service",
 )
 
 _STORE_METHODS = frozenset({"store", "nt_store", "store_v", "nt_store_v"})

@@ -346,8 +346,9 @@ class MgspFile(FileHandle):
         self.tree.store_words([(node, word) for node, word, _slot in plan.commits])
         if new_size > self.inode.size:
             fs.volume.set_size_volatile(self.inode, new_size)
-            fs.device.atomic_store_u64(self.inode.size_field_offset, new_size)
-            fs.device.flush(self.inode.size_field_offset, 8)
+            if not self.inode.unlinked:  # freed slot may be reused; DRAM only
+                fs.device.atomic_store_u64(self.inode.size_field_offset, new_size)
+                fs.device.flush(self.inode.size_field_offset, 8)
         fs.device.fence()
 
         # 7. Retire the entry (unfenced; replay is idempotent).

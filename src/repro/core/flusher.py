@@ -54,8 +54,11 @@ class WritebackScheduler:
         """Checkpoint *handle* on the background trace stream."""
         key = handle.inode.id
         if handle.closed:
-            self._fresh_bytes[key] = 0
-            self._fresh_ops[key] = 0
+            # Pop rather than zero: zeroing would resurrect entries that
+            # forget() already dropped, leaking one dict slot per
+            # close/unlink cycle in a long-running service.
+            self._fresh_bytes.pop(key, None)
+            self._fresh_ops.pop(key, None)
             return 0
         txn = handle._open_txn
         if txn is not None and txn.open:

@@ -99,6 +99,21 @@ class MgspFilesystem(FileSystem):
         handle.tree.load_from_table()
         return handle
 
+    def unlink(self, name: str) -> None:
+        """Unlink *name* and drop its write-back accounting.
+
+        The scheduler keys fresh-log counters by inode id; without the
+        ``forget`` an unlinked-while-open file would keep its stale
+        counters alive (and the next epoch drain for a dangling handle
+        used to persist its size into the freed — possibly reused —
+        inode slot; ``Volume`` now refuses slot writes for unlinked
+        inodes, see :attr:`repro.fsapi.volume.Inode.unlinked`).
+        """
+        inode = self.volume.lookup(name)
+        super().unlink(name)
+        if self.flusher is not None:
+            self.flusher.forget(inode.id)
+
     # -- transactions (future-work extension, see repro.core.txn) -------------------
 
     def begin_transaction(self, handle: MgspFile):

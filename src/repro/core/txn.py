@@ -159,10 +159,11 @@ class MgspTransaction:
                     handle.tree.store_word(node, node.word)
                 if self._new_size > self._orig_size:
                     fs.volume.set_size_volatile(handle.inode, self._new_size)
-                    fs.device.atomic_store_u64(
-                        handle.inode.size_field_offset, self._new_size
-                    )
-                    fs.device.flush(handle.inode.size_field_offset, 8)
+                    if not handle.inode.unlinked:  # slot may be reused
+                        fs.device.atomic_store_u64(
+                            handle.inode.size_field_offset, self._new_size
+                        )
+                        fs.device.flush(handle.inode.size_field_offset, 8)
                 fs.device.fence()
 
                 # Retire the commit entry first: without it the members
@@ -187,7 +188,11 @@ class MgspTransaction:
             # Restore the staged size, but never below what plain writes
             # committed while this transaction was open (the durable
             # size field is monotone).
-            committed_size = fs.device.buffer.load_u64(handle.inode.size_field_offset)
+            committed_size = (
+                0  # slot may belong to another file now; trust the mirror
+                if handle.inode.unlinked
+                else fs.device.buffer.load_u64(handle.inode.size_field_offset)
+            )
             fs.volume.set_size_volatile(
                 handle.inode, max(self._orig_size, committed_size)
             )

@@ -44,6 +44,12 @@ class Inode:
     node_table_off: int = 0
     node_table_len: int = 0
     slot_offset: int = 0
+    #: set by :meth:`Volume.unlink`. An open handle may keep writing
+    #: (POSIX unlink-while-open), but its slot is free for reuse by the
+    #: next create, so size/slot persists must become no-ops — otherwise
+    #: a later checkpoint of the dangling handle would clobber whatever
+    #: file now owns the slot.
+    unlinked: bool = False
 
     @property
     def size_field_offset(self) -> int:
@@ -171,6 +177,7 @@ class Volume:
         inode = self.lookup(name)
         self.device.atomic_store_u64(inode.slot_offset, 0)  # clear magic+id
         self.device.persist(inode.slot_offset, 8)
+        inode.unlinked = True
         del self._inodes[name]
 
     def by_id(self, fid: int) -> Inode:
@@ -188,6 +195,8 @@ class Volume:
                 f"{inode.name}: size {new_size} exceeds capacity {inode.capacity}"
             )
         inode.size = new_size
+        if inode.unlinked:  # slot is freed (possibly reused); DRAM mirror only
+            return
         self.device.atomic_store_u64(inode.size_field_offset, new_size)
         self.device.persist(inode.size_field_offset, 8)
 
@@ -201,6 +210,8 @@ class Volume:
         inode.size = new_size
 
     def persist_size(self, inode: Inode) -> None:
+        if inode.unlinked:  # see set_size: never write a freed slot
+            return
         self.device.atomic_store_u64(inode.size_field_offset, inode.size)
         self.device.persist(inode.size_field_offset, 8)
 

@@ -231,18 +231,22 @@ class StoreBuffer:
 
     def nt_store_words(self, words) -> None:
         """Batch of :meth:`nt_store_word` calls: identical per-word state
-        transitions, shared attribute lookups across the batch."""
+        transitions, shared attribute lookups across the batch. Validates
+        every word up front and raises before mutating anything (see
+        :meth:`store_v`), so a caller can fall back to the per-element
+        path for exact partial-application semantics."""
         working = self.working
         size = self.size
+        for offset, _value in words:
+            if offset % ATOMIC_UNIT != 0:
+                raise TornWriteError(f"atomic store at unaligned offset {offset}")
+            if offset < 0 or offset + 8 > size:
+                raise OutOfRangeError(f"store at {offset} outside device of {size}")
         # A batch only removes from dirty, so emptiness checked once holds.
         dirty = self.dirty if self.dirty else None
         plog = self._pending_log
         log = self._touched_log
         for offset, value in words:
-            if offset % ATOMIC_UNIT != 0:
-                raise TornWriteError(f"atomic store at unaligned offset {offset}")
-            if offset < 0 or offset + 8 > size:
-                raise OutOfRangeError(f"store at {offset} outside device of {size}")
             working[offset : offset + 8] = value.to_bytes(8, "little")
             line = offset & _LINE_MASK
             if dirty is not None:

@@ -6,7 +6,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Tuple
 
-from repro.errors import OutOfRangeError
+from repro.errors import OutOfRangeError, TornWriteError
 from repro.nvm.cache import StoreBuffer
 from repro.nvm.crash import CrashPlan
 from repro.nvm.timing import OptaneTiming, TimingModel
@@ -211,7 +211,12 @@ class NvmDevice:
         through the buffer's non-temporal store: the net effect on
         working/dirty/pending/touched state and on DeviceStats is
         provably the same (the just-stored line is always dirty, so the
-        flush always queues exactly that one line).
+        flush always queues exactly that one line). The fused call
+        validates *before* mutating, so on a bad word we fall through to
+        the per-element loop to reproduce exact partial-application
+        semantics: same prefix applied, same counters, same exception —
+        an observer attached after the failure reads the identical
+        device state either way.
         """
         if (
             self.crash_plan is not None
@@ -223,8 +228,14 @@ class NvmDevice:
                 self.flush(offset, 8)
             return
         n = len(words)
-        # analysis: allow(unfenced-nt-store) -- this *is* the primitive; ordering is the caller's contract
-        self.buffer.nt_store_words(words)
+        try:
+            # analysis: allow(unfenced-nt-store) -- this *is* the primitive; ordering is the caller's contract
+            self.buffer.nt_store_words(words)
+        except (TornWriteError, OutOfRangeError):
+            for offset, value in words:  # replay per-element for exact partial state
+                self.atomic_store_u64(offset, value)
+                self.flush(offset, 8)
+            return
         stats = self.stats
         stats.stores += n
         stats.stored_bytes += 8 * n

@@ -1,0 +1,41 @@
+"""repro.service: the multi-tenant MGSP service front-end.
+
+Sharded namespaces (:mod:`repro.service.sharding`), token-bucket
+admission (:mod:`repro.service.admission`), deficit-round-robin fair
+scheduling (:mod:`repro.service.scheduler`), the service itself
+(:mod:`repro.service.service`), and the Fig-10-style scalability sweep
+(:mod:`repro.service.harness`). Run ``python -m repro.service --help``.
+"""
+
+from repro.service.admission import TenantQuota, TokenBucket
+from repro.service.harness import SweepSpec, run_cell, run_sweep
+from repro.service.scheduler import DeficitRoundRobin
+from repro.service.service import (
+    MgspService,
+    Request,
+    ServiceConfig,
+    ServiceReport,
+    Session,
+    TenantReport,
+    run_service_workload,
+    tenant_requests,
+)
+from repro.service.sharding import ShardMap
+
+__all__ = [
+    "TenantQuota",
+    "TokenBucket",
+    "SweepSpec",
+    "run_cell",
+    "run_sweep",
+    "DeficitRoundRobin",
+    "MgspService",
+    "Request",
+    "ServiceConfig",
+    "ServiceReport",
+    "Session",
+    "TenantReport",
+    "run_service_workload",
+    "tenant_requests",
+    "ShardMap",
+]

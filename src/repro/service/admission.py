@@ -1,0 +1,57 @@
+"""Token-bucket admission control.
+
+Each tenant session carries a bucket refilled on the *virtual* clock
+(request arrival timestamps), so admission decisions are deterministic
+functions of the seeded workload — no wall time anywhere. A request
+that finds the bucket empty is rejected up front and never reaches the
+shard scheduler; rejects are the service's backpressure signal and are
+counted per tenant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits (ops on the virtual clock)."""
+
+    ops_per_sec: float = 200_000.0
+    burst: int = 64
+
+    def __post_init__(self) -> None:
+        if self.ops_per_sec <= 0 or self.burst < 1:
+            raise ValueError(f"invalid quota: {self}")
+
+
+class TokenBucket:
+    """Classic token bucket on virtual-ns timestamps."""
+
+    __slots__ = ("rate", "burst", "tokens", "last_ns", "admitted", "rejected")
+
+    def __init__(self, quota: TenantQuota) -> None:
+        self.rate = quota.ops_per_sec
+        self.burst = float(quota.burst)
+        self.tokens = float(quota.burst)
+        self.last_ns = 0.0
+        self.admitted = 0
+        self.rejected = 0
+
+    def admit(self, now_ns: float, cost: float = 1.0) -> bool:
+        """Charge *cost* tokens at virtual time *now_ns*.
+
+        Timestamps must be non-decreasing per bucket (the service feeds
+        requests in arrival order); a stale timestamp refills nothing
+        rather than going back in time.
+        """
+        elapsed = now_ns - self.last_ns
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * 1e-9 * self.rate)
+            self.last_ns = now_ns
+        if self.tokens >= cost:
+            self.tokens -= cost
+            self.admitted += 1
+            return True
+        self.rejected += 1
+        return False

@@ -1,0 +1,64 @@
+"""Deficit round-robin fair scheduling of admitted requests.
+
+Each shard owns one :class:`DeficitRoundRobin`. Admitted requests
+enqueue into per-tenant FIFO queues; the drain visits active tenants in
+round-robin order, granting each a byte *quantum* per round plus any
+deficit carried over from rounds where the head request did not fit.
+Large-I/O tenants therefore cannot starve small-I/O ones: over time
+every active tenant gets an equal byte share regardless of request
+size (Shreedhar & Varghese's DRR, O(1) per dispatch).
+
+Everything is plain deterministic data structure work — the order of
+``drain()`` is a pure function of the enqueue sequence.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Iterator, Tuple
+
+
+class DeficitRoundRobin:
+    """Byte-deficit round-robin over per-tenant FIFO queues."""
+
+    def __init__(self, quantum: int = 8192) -> None:
+        if quantum < 1:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        self.quantum = quantum
+        #: insertion-ordered active queues: tenant -> deque[(item, cost)]
+        self._queues: "OrderedDict[str, Deque[Tuple[object, int]]]" = OrderedDict()
+        self._deficit: Dict[str, int] = {}
+        self.dispatched = 0
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def enqueue(self, tenant: str, item: object, cost: int) -> None:
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = deque()
+            self._deficit[tenant] = 0
+        queue.append((item, max(1, cost)))
+
+    def drain(self) -> Iterator[Tuple[str, object]]:
+        """Yield every queued (tenant, item) in DRR order."""
+        while self._queues:
+            # Snapshot the round's membership: tenants enqueued mid-round
+            # (there are none in the batch driver, but be safe) wait for
+            # the next round.
+            for tenant in list(self._queues.keys()):
+                queue = self._queues.get(tenant)
+                if queue is None:
+                    continue
+                deficit = self._deficit[tenant] + self.quantum
+                while queue and queue[0][1] <= deficit:
+                    item, cost = queue.popleft()
+                    deficit -= cost
+                    self.dispatched += 1
+                    yield tenant, item
+                if queue:
+                    self._deficit[tenant] = deficit
+                else:
+                    # Idle tenants do not bank credit (DRR invariant).
+                    del self._queues[tenant]
+                    del self._deficit[tenant]

@@ -1,0 +1,30 @@
+"""Directory-hash sharding of tenant namespaces.
+
+A service instance runs N independent MGSP shards (one simulated DIMM
+each). Every tenant's namespace lives entirely on one shard, picked by
+hashing the tenant name — so cross-tenant operations never span
+devices, each shard recovers independently after a crash, and adding
+shards scales the channel/lock budget linearly (the Fig-10 axis).
+
+The hash is ``zlib.crc32``, not the builtin ``hash()``: builtin string
+hashing is salted per process (PYTHONHASHSEED), which would move
+tenants between shards across runs and break seeded reproducibility.
+"""
+
+from __future__ import annotations
+
+from zlib import crc32
+
+
+class ShardMap:
+    """Stable tenant → shard assignment."""
+
+    __slots__ = ("nshards",)
+
+    def __init__(self, nshards: int) -> None:
+        if nshards < 1:
+            raise ValueError(f"need at least one shard, got {nshards}")
+        self.nshards = nshards
+
+    def shard_for(self, tenant: str) -> int:
+        return crc32(tenant.encode("utf-8")) % self.nshards

@@ -118,12 +118,20 @@ class ReplayEngine:
         record_timeline: bool = False,
         background: int = 0,
         batch_ops: bool = True,
+        start_times: Sequence[float] = None,
     ) -> ReplayResult:
         """Replay the streams; the last *background* streams are daemon
         threads (e.g. the MGSP async write-back flusher): they contend
         for NVM channels and locks like any other thread, but their tail
         does not extend the makespan — application throughput is judged
         by when the foreground threads finish.
+
+        ``start_times`` (one virtual-ns value per stream, default all
+        zero) delays each thread's first segment to its arrival time —
+        the multi-tenant service layer uses this to stagger tenant
+        admission instead of releasing every client at t=0. An arrived
+        thread competes for channels and locks exactly like one that
+        started at zero; an empty stream simply finishes on arrival.
 
         With ``batch_ops`` (the default), runs of consecutive compute
         segments are coalesced into single dispatches at flatten time
@@ -144,14 +152,24 @@ class ReplayEngine:
             thread.stats.ops = len(traces)
             threads.append(thread)
 
+        if start_times is not None and len(start_times) != len(threads):
+            raise SimulationError(
+                f"start_times has {len(start_times)} entries for "
+                f"{len(threads)} streams"
+            )
+
         locks = LockTable()
         channels = [0.0] * max(1, self.timing.channels)
         ready: List = []  # (time, seq, tid)
         seq = 0
         for thread in threads:
+            start = float(start_times[thread.tid]) if start_times is not None else 0.0
+            thread.clock = start
             if not thread.done:
-                heapq.heappush(ready, (0.0, seq, thread.tid))
+                heapq.heappush(ready, (start, seq, thread.tid))
                 seq += 1
+            else:
+                thread.stats.finish_ns = start
         parked: Dict[int, Hashable] = {}  # tid -> lock key it waits on
         timeline: List[tuple] = []
 
