@@ -1,0 +1,33 @@
+"""Flow-sensitive static persistence & concurrency checker.
+
+The static half of the correctness tooling got a dataflow engine: CFGs
+per function (:mod:`.cfg`), a worklist abstract interpreter
+(:mod:`.dataflow`), a whole-program index with call resolution and
+summary fixpoints (:mod:`.callgraph`), and three analyses on top —
+persist-state (:mod:`.persist`), exception-path audit (:mod:`.audit`)
+and lock order (:mod:`.lockorder`). ``python -m repro.analysis.flow``
+is the CLI; see docs/analysis.md for domains and soundness caveats.
+"""
+
+from repro.analysis.flow.callgraph import FunctionInfo, ProgramIndex
+from repro.analysis.flow.cfg import Cfg, CfgNode, build_cfg
+from repro.analysis.flow.dataflow import FlowResult, run_forward
+from repro.analysis.flow.driver import analyze_files, run_flow
+from repro.analysis.flow.report import FLOW_RULES, FlowFinding, TraceStep, to_json, to_sarif
+
+__all__ = [
+    "Cfg",
+    "CfgNode",
+    "FLOW_RULES",
+    "FlowFinding",
+    "FlowResult",
+    "FunctionInfo",
+    "ProgramIndex",
+    "TraceStep",
+    "analyze_files",
+    "build_cfg",
+    "run_flow",
+    "run_forward",
+    "to_json",
+    "to_sarif",
+]

@@ -1,0 +1,144 @@
+"""CLI: flow-sensitive static checking over the source tree.
+
+Examples::
+
+    python -m repro.analysis.flow src/repro            # whole tree
+    python -m repro.analysis.flow --strict src/repro   # CI gate
+    python -m repro.analysis.flow --sarif out.sarif --json out.json src/repro
+    python -m repro.analysis.flow --corpus tests/analysis_corpus/flow
+
+Exit status: 0 clean, 1 findings, 2 corpus/EXPECT mismatch. ``--strict``
+is accepted for symmetry with the other CLIs; the flow checker always
+treats every finding (including ``stale-pragma``) as fatal.
+
+Corpus fixtures are analyzed *as if* they lived in a protocol module
+(``repro/core/<name>``) and declare their expectation inline::
+
+    EXPECT = ["mutate-before-validate"]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.flow.driver import analyze_files, run_flow
+from repro.analysis.flow.report import FlowFinding, to_json, to_sarif
+
+__all__ = ["main", "analyze_fixture"]
+
+
+def parse_expect(text: str) -> Optional[List[str]]:
+    """The fixture's module-level ``EXPECT = [...]`` literal, if any."""
+    try:
+        tree = ast.parse(text)
+    except SyntaxError:
+        return None
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "EXPECT":
+                    try:
+                        value = ast.literal_eval(node.value)
+                    except ValueError:
+                        return None
+                    if isinstance(value, list):
+                        return [str(v) for v in value]
+    return None
+
+
+def analyze_fixture(path: str) -> Tuple[List[FlowFinding], List[str]]:
+    """Analyze one corpus fixture under a protocol-module identity."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    module = "repro/core/" + os.path.basename(path)
+    findings = analyze_files({path: text}, modules={path: module})
+    return findings, parse_expect(text) or []
+
+
+def _run_fixture(path: str) -> int:
+    findings, expect = analyze_fixture(path)
+    print(f"fixture {path}: {len(findings)} finding(s); EXPECT={expect}")
+    for finding in findings:
+        print("  " + finding.format())
+    fired = {f.rule for f in findings}
+    missing = [rule for rule in expect if rule not in fired]
+    if missing:
+        print(f"  MISSING expected rule(s): {missing}")
+        return 2
+    return 1 if findings else 0
+
+
+def _run_corpus(directory: str) -> int:
+    status = 0
+    top = sorted(
+        f for f in os.listdir(directory) if f.endswith(".py") and f != "__init__.py"
+    )
+    for name in top:
+        rc = _run_fixture(os.path.join(directory, name))
+        if rc != 1:
+            print(f"  UNEXPECTED: {name} exited {rc} (wanted findings matching EXPECT)")
+            status = 2
+    clean_dir = os.path.join(directory, "clean")
+    if os.path.isdir(clean_dir):
+        for name in sorted(f for f in os.listdir(clean_dir) if f.endswith(".py")):
+            rc = _run_fixture(os.path.join(clean_dir, name))
+            if rc != 0:
+                print(f"  UNEXPECTED: clean/{name} produced findings")
+                status = 2
+    print("corpus", directory, "OK" if status == 0 else "FAILED")
+    return status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.flow",
+        description="flow-sensitive static persistence & concurrency checker",
+    )
+    parser.add_argument("paths", nargs="*", help="files/directories (default src/repro)")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on any finding (already the default; kept for CI symmetry)",
+    )
+    parser.add_argument("--json", metavar="FILE", help="write findings as JSON ('-' for stdout)")
+    parser.add_argument("--sarif", metavar="FILE", help="write findings as SARIF 2.1.0 ('-' for stdout)")
+    parser.add_argument("--program", help="analyze one corpus fixture (EXPECT-aware)")
+    parser.add_argument("--corpus", help="run a flow corpus directory (self-test)")
+    args = parser.parse_args(argv)
+
+    if args.corpus:
+        return _run_corpus(args.corpus)
+    if args.program:
+        return _run_fixture(args.program)
+
+    paths = args.paths or ["src/repro"]
+    findings = run_flow(paths)
+    for finding in findings:
+        print(finding.format())
+    if args.json:
+        payload = to_json(findings)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+    if args.sarif:
+        payload = to_sarif(findings)
+        if args.sarif == "-":
+            print(payload)
+        else:
+            with open(args.sarif, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+    if findings:
+        print(f"repro.analysis.flow: {len(findings)} finding(s)")
+        return 1
+    print("repro.analysis.flow: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,172 @@
+"""Exception-path audit: ``exception-path-no-rollback``.
+
+Structural (per-``try``) check over protocol modules: when the guarded
+body issues protocol stores (directly, or through a callee whose
+summary says it may store) and a handler *terminates the op* — a
+top-level ``return`` or ``raise`` in the handler body — the handler
+must visibly compensate. Compensation is any of:
+
+- a cleanup/rollback-family call in the handler (``rollback``,
+  ``release``, ``retire``, ``checkpoint``, ``unlock``, ...);
+- the handler re-issuing protocol stores itself (the device bulk ops'
+  per-element fallback loops *re-apply* the batch — that is the
+  compensation);
+- a ``finally`` on the same ``try`` that commits state (a cleanup
+  call, store activity, or a stats ``+=`` commit — the device's
+  ``finally: stats.stored_bytes += total`` pattern).
+
+Handlers that merely observe and fall through (``except X: pass``
+before a fallback path) never terminate the op and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List
+
+from repro.analysis.flow.callgraph import FunctionInfo, ProgramIndex
+from repro.analysis.flow.cfg import attr_chain, calls_in
+from repro.analysis.flow.persist import (
+    PersistSummary,
+    in_protocol_module,
+    is_device_call,
+    DIRTY_STORES,
+    PENDING_STORES,
+)
+from repro.analysis.flow.report import FlowFinding, TraceStep
+
+__all__ = ["check_exception_paths"]
+
+_CLEANUP_NAMES = {
+    "abort",
+    "checkpoint",
+    "clear",
+    "close",
+    "discard",
+    "forget",
+    "free",
+    "recover",
+    "release",
+    "release_retained",
+    "reset",
+    "restore",
+    "retire",
+    "rollback",
+    "undo",
+    "unlock",
+}
+
+_STORE_PRIMITIVES = DIRTY_STORES | PENDING_STORES
+
+
+def _walk_no_defs(node: ast.AST) -> Iterable[ast.AST]:
+    yield node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield from _walk_no_defs(child)
+
+
+def _store_lines(
+    stmts: List[ast.stmt],
+    fn: FunctionInfo,
+    index: ProgramIndex,
+    summaries: Dict[str, PersistSummary],
+) -> List[int]:
+    """Lines in *stmts* where protocol stores are (transitively) issued."""
+    lines: List[int] = []
+    for stmt in stmts:
+        for call in calls_in(stmt):
+            primitive = is_device_call(call)
+            if primitive is not None:
+                if primitive in _STORE_PRIMITIVES:
+                    lines.append(call.lineno)
+                continue
+            for cand in index.resolve(call, fn):
+                summ = summaries.get(cand.qualname + "@" + cand.path)
+                if summ is not None and summ[3]:  # may_store
+                    lines.append(call.lineno)
+                    break
+    return lines
+
+
+def _has_cleanup_call(stmts: List[ast.stmt]) -> bool:
+    for stmt in stmts:
+        for call in calls_in(stmt):
+            chain = attr_chain(call.func)
+            if chain and chain[-1] in _CLEANUP_NAMES:
+                return True
+    return False
+
+
+def _has_stats_commit(stmts: List[ast.stmt]) -> bool:
+    return any(
+        isinstance(node, ast.AugAssign)
+        for stmt in stmts
+        for node in _walk_no_defs(stmt)
+    )
+
+
+def _terminal_stmt(handler_body: List[ast.stmt]) -> ast.stmt:
+    for stmt in handler_body:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            return stmt
+    return None
+
+
+def check_exception_paths(
+    index: ProgramIndex, summaries: Dict[str, PersistSummary]
+) -> List[FlowFinding]:
+    findings: List[FlowFinding] = []
+    for fn in index.functions:
+        if not in_protocol_module(fn):
+            continue
+        for node in _walk_no_defs(fn.node):
+            if not isinstance(node, ast.Try):
+                continue
+            stores = _store_lines(node.body, fn, index, summaries)
+            if not stores:
+                continue
+            finally_compensates = bool(node.finalbody) and (
+                _has_cleanup_call(node.finalbody)
+                or _has_stats_commit(node.finalbody)
+                or bool(_store_lines(node.finalbody, fn, index, summaries))
+            )
+            for handler in node.handlers:
+                terminal = _terminal_stmt(handler.body)
+                if terminal is None:
+                    continue  # falls through: a later path compensates
+                if (
+                    _has_cleanup_call(handler.body)
+                    or _store_lines(handler.body, fn, index, summaries)
+                    or _has_stats_commit(handler.body)
+                    or finally_compensates
+                ):
+                    continue
+                verb = "returns" if isinstance(terminal, ast.Return) else "raises"
+                findings.append(
+                    FlowFinding(
+                        rule="exception-path-no-rollback",
+                        path=fn.path,
+                        line=handler.lineno,
+                        message=(
+                            f"handler in {fn.qualname}() {verb} at line "
+                            f"{terminal.lineno} without rollback or stats "
+                            f"commit for stores issued in the try body "
+                            f"(first at line {stores[0]})"
+                        ),
+                        trace=[
+                            TraceStep(
+                                fn.path, stores[0], "protocol store under this try"
+                            ),
+                            TraceStep(fn.path, handler.lineno, "exception lands here"),
+                            TraceStep(
+                                fn.path,
+                                terminal.lineno,
+                                f"handler {verb} with the stores unaccounted",
+                            ),
+                        ],
+                        extra_pragma_lines=(terminal.lineno,),
+                    )
+                )
+    return findings

@@ -1,0 +1,358 @@
+"""Per-function control-flow graphs built from the AST.
+
+One :class:`Cfg` per function: statement-granularity nodes plus three
+synthetic nodes — ``entry``, ``exit`` (every normal return path) and
+``raise-exit`` (exceptions that escape the function). Edges carry a
+kind:
+
+``"n"``
+    ordinary fall-through / branch / loop edges (back edges included);
+``"exc"``
+    may-raise transfer from inside a ``try`` into a handler, or from a
+    ``raise`` toward the propagation chain.
+
+``try``/``except``/``else``/``finally`` is modelled precisely enough
+for path-sensitive persistence checking:
+
+- every statement inside a ``try`` body gets an ``exc`` edge to *each*
+  handler entry (handler types are not evaluated — over-approximation)
+  **and** to the outward propagation chain (a typed handler may not
+  match);
+- handler entry nodes are marked ``kind="handler"`` so client analyses
+  can tag abstract state as "reached via an exception path";
+- a ``finally`` suite is **duplicated per continuation**: one copy for
+  normal completion, one for exception propagation, and one per abrupt
+  jump kind (``return``/``break``/``continue``) that actually crosses
+  it. This is what keeps "exception swept through the finally and kept
+  propagating" distinct from "the finally ran and control continued
+  normally" — merging those two (the obvious single-copy shortcut)
+  would let cleanup paths launder exception paths into normal ones and
+  blind the ``unfenced-on-exception-path`` rule.
+
+``with`` blocks contribute a node for the context expressions and run
+their body inline (the protocol code's context managers — ``fs.op``,
+``obs.span`` — do not swallow exceptions).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["CfgNode", "Cfg", "build_cfg", "calls_in", "attr_chain"]
+
+
+def attr_chain(node: ast.AST) -> List[str]:
+    """Names along an attribute chain: ``fs.device.nt_store`` ->
+    ``['fs', 'device', 'nt_store']`` (empty head for computed bases)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+def calls_in(stmt: ast.AST) -> List[ast.Call]:
+    """Call expressions inside one statement, in source order, without
+    descending into nested function/class definitions or lambdas."""
+    calls: List[ast.Call] = []
+    if isinstance(stmt, ast.Call):  # expression fragments may *be* a call
+        calls.append(stmt)
+
+    def walk(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(child, ast.Call):
+                calls.append(child)
+            walk(child)
+
+    walk(stmt)
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls
+
+
+@dataclass
+class CfgNode:
+    nid: int
+    kind: str  # "entry" | "exit" | "raise-exit" | "stmt" | "handler"
+    stmt: Optional[ast.AST] = None
+    line: int = 0
+    #: the AST fragments actually *evaluated at* this node — the whole
+    #: statement for simple statements, only the header expression(s)
+    #: for compound ones (an ``if`` node evaluates its test, not its
+    #: branches; those have their own nodes)
+    src: List[ast.AST] = field(default_factory=list)
+    #: pre-extracted call expressions (source order) for client analyses
+    calls: List[ast.Call] = field(default_factory=list)
+
+
+@dataclass
+class Cfg:
+    func: ast.AST
+    name: str
+    nodes: Dict[int, CfgNode] = field(default_factory=dict)
+    succs: Dict[int, List[Tuple[int, str]]] = field(default_factory=dict)
+    entry: int = 0
+    exit: int = 1
+    raise_exit: int = 2
+
+    def add_node(
+        self,
+        kind: str,
+        stmt: Optional[ast.AST] = None,
+        src: Optional[List[ast.AST]] = None,
+    ) -> int:
+        nid = len(self.nodes)
+        if src is None:
+            src = [stmt] if stmt is not None else []
+        calls: List[ast.Call] = []
+        for fragment in src:
+            calls.extend(calls_in(fragment))
+        calls.sort(key=lambda c: (c.lineno, c.col_offset))
+        node = CfgNode(
+            nid,
+            kind,
+            stmt,
+            getattr(stmt, "lineno", 0) if stmt is not None else 0,
+            src,
+            calls,
+        )
+        self.nodes[nid] = node
+        self.succs[nid] = []
+        return nid
+
+    def add_edge(self, src: int, dst: int, kind: str = "n") -> None:
+        if (dst, kind) not in self.succs[src]:
+            self.succs[src].append((dst, kind))
+
+    def preds(self) -> Dict[int, List[Tuple[int, str]]]:
+        back: Dict[int, List[Tuple[int, str]]] = {n: [] for n in self.nodes}
+        for src, outs in self.succs.items():
+            for dst, kind in outs:
+                back[dst].append((src, kind))
+        return back
+
+
+class _Frame:
+    """One enclosing ``try`` during construction: handler entries plus
+    collectors for control transfers that must cross its ``finally``."""
+
+    def __init__(self, handler_entries: List[int], has_finally: bool) -> None:
+        self.handler_entries = handler_entries
+        self.has_finally = has_finally
+        # control kinds collected for finally re-dispatch
+        self.raise_preds: List[int] = []
+        self.return_preds: List[int] = []
+        self.break_preds: List[int] = []
+        self.continue_preds: List[int] = []
+
+
+class _Loop:
+    def __init__(self, head: int) -> None:
+        self.head = head
+        self.break_preds: List[int] = []
+
+
+class _Builder:
+    def __init__(self, func: ast.AST) -> None:
+        self.cfg = Cfg(func, getattr(func, "name", "<lambda>"))
+        self.cfg.entry = self.cfg.add_node("entry")
+        self.cfg.exit = self.cfg.add_node("exit")
+        self.cfg.raise_exit = self.cfg.add_node("raise-exit")
+        self.frames: List[_Frame] = []
+        self.loops: List[_Loop] = []
+
+    # -- control-transfer routing -----------------------------------------
+
+    def _route(self, preds: Sequence[int], kind: str, target: Optional[int]) -> None:
+        """Send *preds* toward an abrupt (non-raise) target, stopping at
+        the first enclosing try-with-finally, whose per-kind finally
+        copy re-dispatches later."""
+        for frame in reversed(self.frames):
+            if frame.has_finally:
+                getattr(frame, kind + "_preds").extend(preds)
+                return
+        if target is not None:
+            for p in preds:
+                self.cfg.add_edge(p, target)
+        elif kind == "break" and self.loops:
+            self.loops[-1].break_preds.extend(preds)
+        elif kind == "continue" and self.loops:
+            for p in preds:
+                self.cfg.add_edge(p, self.loops[-1].head)
+
+    def _propagate_raise(self, preds: Sequence[int]) -> None:
+        """An exception leaving *preds* walks the enclosing frames from
+        the inside out: it may land in each frame's handlers (types are
+        not evaluated, so propagation also continues past them), and it
+        parks at the first try-with-finally — that frame's raise-copy of
+        the finally resumes the walk from the outer context."""
+        for frame in reversed(self.frames):
+            for h in frame.handler_entries:
+                for p in preds:
+                    self.cfg.add_edge(p, h, "exc")
+            if frame.has_finally:
+                frame.raise_preds.extend(preds)
+                return
+        for p in preds:
+            self.cfg.add_edge(p, self.cfg.raise_exit, "exc")
+
+    def _wire_exception(self, nid: int) -> None:
+        self._propagate_raise([nid])
+
+    @staticmethod
+    def _may_raise(stmt: ast.AST) -> bool:
+        if isinstance(stmt, (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)):
+            return False
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            return False  # docstrings / bare literals
+        return True
+
+    # -- statement lists ----------------------------------------------------
+
+    def build_body(self, body: Sequence[ast.stmt], preds: List[int]) -> List[int]:
+        """Wire *body* after *preds*; returns the normal-exit preds."""
+        for stmt in body:
+            preds = self.build_stmt(stmt, preds)
+            if not preds:
+                break  # unreachable fall-through (return/raise/...)
+        return preds
+
+    def _stmt_node(
+        self,
+        stmt: ast.stmt,
+        preds: List[int],
+        kind: str = "stmt",
+        src: Optional[List[ast.AST]] = None,
+    ) -> int:
+        nid = self.cfg.add_node(kind, stmt, src)
+        for p in preds:
+            self.cfg.add_edge(p, nid)
+        if self.frames and self._may_raise(stmt):
+            self._wire_exception(nid)
+        return nid
+
+    def build_stmt(self, stmt: ast.stmt, preds: List[int]) -> List[int]:
+        cfg = self.cfg
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # nested definitions are analyzed on their own; the def
+            # statement itself is a no-op node
+            return [self._stmt_node(stmt, preds, src=[])]
+
+        if isinstance(stmt, ast.Return):
+            nid = self._stmt_node(stmt, preds)
+            self._route([nid], "return", cfg.exit)
+            return []
+
+        if isinstance(stmt, ast.Raise):
+            nid = self.cfg.add_node("stmt", stmt)
+            for p in preds:
+                cfg.add_edge(p, nid)
+            self._propagate_raise([nid])
+            return []
+
+        if isinstance(stmt, ast.Break):
+            nid = self._stmt_node(stmt, preds)
+            self._route([nid], "break", None)
+            return []
+
+        if isinstance(stmt, ast.Continue):
+            nid = self._stmt_node(stmt, preds)
+            self._route([nid], "continue", None)
+            return []
+
+        if isinstance(stmt, ast.If):
+            test = self._stmt_node(stmt, preds, src=[stmt.test])
+            then_out = self.build_body(stmt.body, [test])
+            else_out = self.build_body(stmt.orelse, [test]) if stmt.orelse else [test]
+            return then_out + else_out
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = [stmt.test] if isinstance(stmt, ast.While) else [stmt.iter]
+            head = self._stmt_node(stmt, preds, src=header)
+            loop = _Loop(head)
+            self.loops.append(loop)
+            body_out = self.build_body(stmt.body, [head])
+            for p in body_out:
+                cfg.add_edge(p, head)  # back edge
+            self.loops.pop()
+            out = [head]  # loop may run zero times / iterator exhausts
+            if stmt.orelse:
+                out = self.build_body(stmt.orelse, out)
+            return out + loop.break_preds
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            ctx = self._stmt_node(
+                stmt, preds, src=[item.context_expr for item in stmt.items]
+            )
+            return self.build_body(stmt.body, [ctx])
+
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, preds)
+
+        # simple statement (assign, expr, assert, delete, ...)
+        return [self._stmt_node(stmt, preds)]
+
+    # -- try / except / else / finally --------------------------------------
+
+    def _build_try(self, stmt: ast.Try, preds: List[int]) -> List[int]:
+        cfg = self.cfg
+        has_finally = bool(stmt.finalbody)
+
+        # handler entry nodes first, so body statements can target them
+        handler_entries: List[int] = []
+        for handler in stmt.handlers:
+            h = cfg.add_node(
+                "handler", handler, [handler.type] if handler.type else []
+            )
+            handler_entries.append(h)
+
+        frame = _Frame(handler_entries, has_finally)
+        self.frames.append(frame)
+        body_out = self.build_body(stmt.body, preds)
+        if stmt.orelse:
+            body_out = self.build_body(stmt.orelse, body_out)
+
+        # handler bodies run under the frame too (their raises must
+        # still cross this finally), but they no longer target their
+        # own handler set.
+        frame.handler_entries = []
+        handler_out: List[int] = []
+        for handler, h in zip(stmt.handlers, handler_entries):
+            handler_out.extend(self.build_body(handler.body, [h]))
+        self.frames.pop()
+
+        normal_out = body_out + handler_out
+        if not has_finally:
+            return normal_out
+
+        # one finally copy per continuation kind that actually occurs
+        out = self.build_body(stmt.finalbody, normal_out) if normal_out else []
+        if frame.raise_preds:
+            fin = self.build_body(stmt.finalbody, frame.raise_preds)
+            self._propagate_raise(fin)
+        if frame.return_preds:
+            fin = self.build_body(stmt.finalbody, frame.return_preds)
+            self._route(fin, "return", cfg.exit)
+        if frame.break_preds:
+            fin = self.build_body(stmt.finalbody, frame.break_preds)
+            self._route(fin, "break", None)
+        if frame.continue_preds:
+            fin = self.build_body(stmt.finalbody, frame.continue_preds)
+            self._route(fin, "continue", None)
+        return out
+
+
+def build_cfg(func: ast.AST) -> Cfg:
+    """CFG for one ``FunctionDef`` / ``AsyncFunctionDef``."""
+    builder = _Builder(func)
+    out = builder.build_body(func.body, [builder.cfg.entry])
+    for p in out:
+        builder.cfg.add_edge(p, builder.cfg.exit)
+    return builder.cfg

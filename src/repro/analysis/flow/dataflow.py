@@ -1,0 +1,110 @@
+"""Worklist-driven forward abstract interpretation over a :class:`Cfg`.
+
+Client analyses provide:
+
+- an initial abstract state for the entry node (any hashable value,
+  typically a ``frozenset`` of tokens);
+- ``transfer(node, state) -> state`` — the effect of executing one CFG
+  node to completion;
+- optionally ``handler_entry(node, state) -> state`` — applied instead
+  of ``transfer`` on ``kind="handler"`` nodes (e.g. to retag tokens as
+  "reached via an exception path");
+- ``join(a, b) -> state`` — the lattice join (defaults to frozenset
+  union).
+
+Exception edges are conservative about *when* a statement raises: the
+state propagated along an ``exc`` edge is ``join(state_in, state_out)``
+— the raise may happen before or after the node's effects applied.
+
+The engine iterates to a fixpoint; states must come from a finite
+lattice (token sets keyed by program lines are) or the caller must
+guarantee convergence. Results map node id -> state *on entry* to the
+node; ``state_out`` gives the post-state of any node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional
+
+from repro.analysis.flow.cfg import Cfg, CfgNode
+
+__all__ = ["FlowResult", "run_forward", "union_join"]
+
+State = FrozenSet
+
+
+def union_join(a: State, b: State) -> State:
+    return a | b
+
+
+class FlowResult:
+    """Fixpoint states for one CFG."""
+
+    def __init__(
+        self,
+        cfg: Cfg,
+        states_in: Dict[int, State],
+        transfer: Callable[[CfgNode, State], State],
+        handler_entry: Optional[Callable[[CfgNode, State], State]],
+    ) -> None:
+        self.cfg = cfg
+        self.states_in = states_in
+        self._transfer = transfer
+        self._handler_entry = handler_entry
+
+    def state_in(self, nid: int) -> Optional[State]:
+        """Entry state, ``None`` when the node is unreachable."""
+        return self.states_in.get(nid)
+
+    def state_out(self, nid: int) -> Optional[State]:
+        state = self.states_in.get(nid)
+        if state is None:
+            return None
+        return self._apply(self.cfg.nodes[nid], state)
+
+    def _apply(self, node: CfgNode, state: State) -> State:
+        if node.kind == "handler" and self._handler_entry is not None:
+            return self._handler_entry(node, state)
+        return self._transfer(node, state)
+
+    @property
+    def exit_state(self) -> Optional[State]:
+        return self.states_in.get(self.cfg.exit)
+
+    @property
+    def raise_state(self) -> Optional[State]:
+        return self.states_in.get(self.cfg.raise_exit)
+
+
+def run_forward(
+    cfg: Cfg,
+    init: State,
+    transfer: Callable[[CfgNode, State], State],
+    handler_entry: Optional[Callable[[CfgNode, State], State]] = None,
+    join: Callable[[State, State], State] = union_join,
+    max_steps: int = 200_000,
+) -> FlowResult:
+    """Run the worklist algorithm to fixpoint; returns per-node states."""
+    states: Dict[int, State] = {cfg.entry: init}
+    result = FlowResult(cfg, states, transfer, handler_entry)
+    worklist = [cfg.entry]
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > max_steps:  # defensive: malformed lattice / transfer
+            raise RuntimeError(
+                f"dataflow did not converge in {max_steps} steps for {cfg.name}()"
+            )
+        nid = worklist.pop()
+        state_in = states[nid]
+        node = cfg.nodes[nid]
+        state_out = result._apply(node, state_in)
+        for dst, kind in cfg.succs[nid]:
+            # an exception may fire before or after the node's effects
+            carried = join(state_in, state_out) if kind == "exc" else state_out
+            old = states.get(dst)
+            new = carried if old is None else join(old, carried)
+            if new != old:
+                states[dst] = new
+                worklist.append(dst)
+    return result

@@ -1,0 +1,84 @@
+"""Top-level flow-checker driver: files -> findings.
+
+Pipeline: parse everything into one :class:`ProgramIndex` (the whole
+file set is a single program — interprocedural summaries cross file
+boundaries), run the three analyses, then filter through the shared
+``# analysis: allow(rule) -- reason`` pragma machinery. A pragma is
+accepted on (or one line above) the finding's anchor line *or* any of
+its ``extra_pragma_lines`` (e.g. the handler line of an
+exception-path finding). Justified flow pragmas that suppressed
+nothing are themselves reported as ``stale-pragma`` — the same
+deadweight rule the linter applies to its own rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.flow.audit import check_exception_paths
+from repro.analysis.flow.callgraph import ProgramIndex
+from repro.analysis.flow.lockorder import check_lock_order, compute_lock_summaries
+from repro.analysis.flow.persist import (
+    check_bulk_validate,
+    check_persist,
+    compute_persist_summaries,
+)
+from repro.analysis.flow.report import FLOW_RULES, FlowFinding
+from repro.analysis.pragmas import PragmaTable
+
+__all__ = ["analyze_files", "run_flow"]
+
+
+def analyze_files(
+    files: Dict[str, str], modules: Optional[Dict[str, str]] = None
+) -> List[FlowFinding]:
+    index = ProgramIndex.build(files, modules)
+
+    findings: List[FlowFinding] = [
+        FlowFinding("syntax-error", path, line, message)
+        for path, line, message in index.errors
+    ]
+    persist_summaries = compute_persist_summaries(index)
+    findings += check_persist(index, persist_summaries)
+    findings += check_bulk_validate(index)
+    findings += check_exception_paths(index, persist_summaries)
+    lock_summaries = compute_lock_summaries(index)
+    findings += check_lock_order(index, lock_summaries)
+
+    tables = {path: PragmaTable(text) for path, text in files.items()}
+    kept: List[FlowFinding] = []
+    for finding in sorted(findings, key=FlowFinding.sort_key):
+        table = tables.get(finding.path)
+        if table is not None:
+            probe_lines = (finding.line,) + finding.extra_pragma_lines
+            if any(table.suppresses(line, finding.rule) for line in probe_lines):
+                continue
+        kept.append(finding)
+
+    owned = [rule for rule in FLOW_RULES if rule != "stale-pragma"]
+    for path in sorted(tables):
+        for pragma in tables[path].stale(owned):
+            kept.append(
+                FlowFinding(
+                    rule="stale-pragma",
+                    path=path,
+                    line=pragma.line,
+                    message=(
+                        f"allow({pragma.rule}) suppresses no flow finding "
+                        "here; remove it or fix the line it points at"
+                    ),
+                )
+            )
+    kept.sort(key=FlowFinding.sort_key)
+    return kept
+
+
+def run_flow(paths: Sequence[str]) -> List[FlowFinding]:
+    """Analyze files/directories from disk (one whole-program index)."""
+    from repro.analysis.lint import iter_python_files
+
+    files: Dict[str, str] = {}
+    for file in iter_python_files(paths):
+        with open(file, "r", encoding="utf-8") as fh:
+            files[file] = fh.read()
+    return analyze_files(files)

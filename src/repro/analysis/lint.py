@@ -33,18 +33,29 @@ from __future__ import annotations
 
 import ast
 import os
-import re
 import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.pragmas import PragmaTable, TRACE_RULE_NAMES
 
 LINT_RULES: Dict[str, str] = {
     "raw-store-outside-protocol": "raw device store issued outside sanctioned protocol modules",
     "unfenced-nt-store": "non-temporal store with no reachable fence in the same function",
     "mgl-lock-order": "terminal locks acquired without sorted() ordering",
     "ambient-nondeterminism": "ambient clock/randomness in a crash-replayable path",
-    "invalid-pragma": "analysis pragma without a justification",
+    "invalid-pragma": "analysis pragma without a justification, or for an unknown rule",
+    "stale-pragma": "justified allow(...) pragma that suppresses no finding",
 }
+
+#: rules whose pragmas this engine owns for staleness accounting —
+#: pragmas for flow/trace rules are someone else's business
+_OWNED_RULES: Tuple[str, ...] = (
+    "raw-store-outside-protocol",
+    "unfenced-nt-store",
+    "mgl-lock-order",
+    "ambient-nondeterminism",
+)
 
 #: module prefixes allowed to issue raw device stores (protocol layers)
 SANCTIONED_STORE_PREFIXES: Tuple[str, ...] = (
@@ -78,9 +89,6 @@ _RANDOM_FUNCS = frozenset(
     {"random", "randrange", "randint", "choice", "choices", "shuffle", "sample", "getrandbits", "uniform"}
 )
 
-_PRAGMA = re.compile(r"#\s*analysis:\s*allow\(([a-z0-9-]+)\)(?:\s*--\s*(\S.*))?")
-
-
 @dataclass
 class LintFinding:
     path: str
@@ -90,6 +98,14 @@ class LintFinding:
 
     def format(self) -> str:
         return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def _flow_rule_names() -> frozenset:
+    """Flow-checker rule names (lazy import: the flow package is a
+    consumer of this module's file iterator)."""
+    from repro.analysis.flow.report import FLOW_RULES
+
+    return frozenset(FLOW_RULES)
 
 
 def _attr_chain(node: ast.AST) -> List[str]:
@@ -255,28 +271,48 @@ def lint_source(
         + [("mgl-lock-order", ln, msg) for ln, msg in visitor.lock_order]
         + [("ambient-nondeterminism", ln, msg) for ln, msg in visitor.nondet]
     )
-    lines = text.splitlines()
+    table = PragmaTable(text)
     out: List[LintFinding] = []
     for rule, lineno, msg in sorted(raw_findings, key=lambda f: (f[1], f[0])):
-        suppressed = False
-        for probe in (lineno, lineno - 1):
-            if 1 <= probe <= len(lines):
-                m = _PRAGMA.search(lines[probe - 1])
-                if m and m.group(1) == rule:
-                    if m.group(2):
-                        suppressed = True
-                    else:
-                        out.append(
-                            LintFinding(
-                                path,
-                                probe,
-                                "invalid-pragma",
-                                f"allow({rule}) has no '-- reason' justification",
-                            )
-                        )
-                    break
-        if not suppressed:
-            out.append(LintFinding(path, lineno, rule, msg))
+        pragma = table.lookup(lineno, rule)
+        if pragma is not None and pragma.valid:
+            table.mark_used(pragma)
+            continue
+        if pragma is not None:  # matches a finding but has no reason
+            out.append(
+                LintFinding(
+                    path,
+                    pragma.line,
+                    "invalid-pragma",
+                    f"allow({rule}) has no '-- reason' justification",
+                )
+            )
+        out.append(LintFinding(path, lineno, rule, msg))
+
+    # pragma hygiene: unknown rule names, and justified pragmas for
+    # lint-owned rules that suppressed nothing (dead suppressions)
+    known = set(LINT_RULES) | set(TRACE_RULE_NAMES) | _flow_rule_names()
+    for pragma in table.pragmas:
+        if pragma.rule not in known:
+            out.append(
+                LintFinding(
+                    path,
+                    pragma.line,
+                    "invalid-pragma",
+                    f"allow({pragma.rule}) names no known analysis rule",
+                )
+            )
+    for pragma in table.stale(_OWNED_RULES):
+        out.append(
+            LintFinding(
+                path,
+                pragma.line,
+                "stale-pragma",
+                f"allow({pragma.rule}) suppresses no finding here; remove "
+                "it or fix the line it points at",
+            )
+        )
+    out.sort(key=lambda f: (f.line, f.rule))
     return out
 
 

@@ -1,0 +1,124 @@
+"""Shared ``# analysis: allow(rule) -- reason`` pragma machinery.
+
+Both static engines — the AST linter (:mod:`repro.analysis.lint`) and
+the flow checker (:mod:`repro.analysis.flow`) — honour the same pragma
+grammar, so the regex, the comment scanner, and the suppression
+bookkeeping live here.
+
+A pragma suppresses findings of its rule on the pragma's own line or
+the line directly below it (i.e. the probe order seen from a finding is
+``(finding_line, finding_line - 1)``). A pragma without a ``-- reason``
+never suppresses; the linter reports it as ``invalid-pragma``.
+
+Staleness: a pragma that suppressed nothing is dead weight — it either
+outlived the code it excused or was wrong to begin with. Each engine
+checks staleness only for rules it owns (``lint`` for lint rules,
+``flow`` for flow rules), so a flow pragma never looks stale to the
+linter and vice versa. :data:`TRACE_RULE_NAMES` mirrors the dynamic
+analyzer's rule set so rule-name typos can be told apart from rules
+owned by another engine; a corpus test asserts it stays in sync.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+PRAGMA_RE = re.compile(r"#\s*analysis:\s*allow\(([a-z0-9-]+)\)(?:\s*--\s*(\S.*))?")
+
+#: rule names owned by the *dynamic* trace analyzer
+#: (``repro.analysis.analyzer.RULES``) — pragmas never apply to those,
+#: but their names are "known" for typo detection. Kept as a literal so
+#: the pure-AST engines do not import the analyzer (and its device
+#: dependencies); ``tests/test_analysis_flow.py`` asserts parity.
+TRACE_RULE_NAMES: Tuple[str, ...] = (
+    "commit-before-data",
+    "torn-multiword",
+    "unfenced-at-boundary",
+    "redundant-flush",
+    "redundant-fence",
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One pragma comment occurrence."""
+
+    line: int
+    rule: str
+    reason: Optional[str]
+
+    @property
+    def valid(self) -> bool:
+        return self.reason is not None
+
+
+def scan_pragmas(text: str) -> List[Pragma]:
+    """Every pragma *comment* in the source, in line order.
+
+    Uses the tokenizer so pragma examples quoted inside docstrings or
+    string literals are not mistaken for live pragmas (a raw line regex
+    would flag the usage example in ``lint``'s own module docstring as
+    stale).
+    """
+    pragmas: List[Pragma] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = PRAGMA_RE.search(tok.string)
+            if m:
+                pragmas.append(Pragma(tok.start[0], m.group(1), m.group(2)))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparsable source is reported as syntax-error by the caller;
+        # fall back to a raw line scan so suppression still works.
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            m = PRAGMA_RE.search(line)
+            if m:
+                pragmas.append(Pragma(lineno, m.group(1), m.group(2)))
+    return pragmas
+
+
+class PragmaTable:
+    """Suppression lookups + used/stale accounting for one source file."""
+
+    def __init__(self, text: str) -> None:
+        self.pragmas = scan_pragmas(text)
+        self._by_line: Dict[int, Pragma] = {p.line: p for p in self.pragmas}
+        self._used: Set[Tuple[int, str]] = set()
+
+    def lookup(self, finding_line: int, rule: str) -> Optional[Pragma]:
+        """The pragma governing a finding at *finding_line*, if any."""
+        for probe in (finding_line, finding_line - 1):
+            pragma = self._by_line.get(probe)
+            if pragma is not None and pragma.rule == rule:
+                return pragma
+        return None
+
+    def suppresses(self, finding_line: int, rule: str) -> bool:
+        """True (and marks the pragma used) when a *justified* pragma
+        covers this finding."""
+        pragma = self.lookup(finding_line, rule)
+        if pragma is not None and pragma.valid:
+            self._used.add((pragma.line, pragma.rule))
+            return True
+        return False
+
+    def mark_used(self, pragma: Pragma) -> None:
+        self._used.add((pragma.line, pragma.rule))
+
+    def stale(self, owned_rules: Sequence[str]) -> List[Pragma]:
+        """Justified pragmas for rules in *owned_rules* that suppressed
+        nothing in this file."""
+        owned = set(owned_rules)
+        return [
+            p
+            for p in self.pragmas
+            if p.valid
+            and p.rule in owned
+            and (p.line, p.rule) not in self._used
+        ]

@@ -1,0 +1,26 @@
+"""Conforming twin: the bail-out handler rolls the segment back before
+returning, so the op's effects are accounted for either way."""
+
+EXPECT = []
+
+
+class Segment:
+    def __init__(self, device):
+        self.device = device
+        self.committed = 0
+
+    def _write_one(self, off, data):
+        self.device.nt_store(off, data)
+        self.device.fence()
+
+    def rollback(self):
+        self.committed = 0
+
+    def push(self, off, data):
+        try:
+            self._write_one(off, data)
+        except OSError:
+            self.rollback()
+            return False
+        self.committed += 1
+        return True

@@ -1,0 +1,23 @@
+"""Conforming twin: both paths acquire ``inode`` before ``journal`` —
+a consistent global order, no cycle."""
+
+EXPECT = []
+
+
+class Journal:
+    def __init__(self, recorder):
+        self.recorder = recorder
+
+    def append(self, inode_id):
+        recorder = self.recorder
+        recorder.lock(("inode", inode_id), "W")
+        recorder.lock(("journal",), "W")
+        recorder.unlock(("journal",))
+        recorder.unlock(("inode", inode_id))
+
+    def flush_all(self, inode_id):
+        recorder = self.recorder
+        recorder.lock(("inode", inode_id), "W")
+        recorder.lock(("journal",), "W")
+        recorder.unlock(("journal",))
+        recorder.unlock(("inode", inode_id))

@@ -1,0 +1,17 @@
+"""Conforming twin: validate the whole batch first, then mutate — a
+mid-batch validation failure leaves the table untouched."""
+
+EXPECT = []
+
+
+class WordTable:
+    def __init__(self, device):
+        self.device = device
+        self.slots = {}
+
+    def store_words_v(self, words):
+        for offset, _value in words:
+            if offset % 8 != 0:
+                raise ValueError(f"unaligned word offset {offset}")
+        for offset, value in words:
+            self.slots[offset] = value

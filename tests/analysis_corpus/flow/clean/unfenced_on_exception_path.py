@@ -1,0 +1,19 @@
+"""Conforming twin: the fence lives in a ``finally``, so even the
+swallowed-exception path re-establishes durability before commit()
+returns."""
+
+EXPECT = []
+
+
+class Region:
+    def __init__(self, device):
+        self.device = device
+
+    def commit(self, off, data):
+        try:
+            self.device.nt_store(off, data)
+        except OSError:
+            pass
+        finally:
+            self.device.fence()
+        return True

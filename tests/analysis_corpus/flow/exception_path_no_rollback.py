@@ -1,0 +1,24 @@
+"""The try body issues protocol stores (through a helper that fences
+them itself), but the handler bails out with ``return False`` without
+rolling back or committing stats — callers can't tell how much of the
+op landed."""
+
+EXPECT = ["exception-path-no-rollback"]
+
+
+class Segment:
+    def __init__(self, device):
+        self.device = device
+        self.committed = 0
+
+    def _write_one(self, off, data):
+        self.device.nt_store(off, data)
+        self.device.fence()
+
+    def push(self, off, data):
+        try:
+            self._write_one(off, data)
+        except OSError:
+            return False  # stores above are unaccounted for
+        self.committed += 1
+        return True

@@ -1,0 +1,24 @@
+"""Two paths acquire the same two lock classes in opposite order:
+append() holds ``inode`` while taking ``journal``; flush_all() holds
+``journal`` while taking ``inode`` — a classic ABBA deadlock."""
+
+EXPECT = ["lock-order-cycle"]
+
+
+class Journal:
+    def __init__(self, recorder):
+        self.recorder = recorder
+
+    def append(self, inode_id):
+        recorder = self.recorder
+        recorder.lock(("inode", inode_id), "W")
+        recorder.lock(("journal",), "W")
+        recorder.unlock(("journal",))
+        recorder.unlock(("inode", inode_id))
+
+    def flush_all(self, inode_id):
+        recorder = self.recorder
+        recorder.lock(("journal",), "W")
+        recorder.lock(("inode", inode_id), "W")
+        recorder.unlock(("inode", inode_id))
+        recorder.unlock(("journal",))

@@ -1,0 +1,17 @@
+"""Merged validate/mutate loop in a bulk op: the second iteration's
+validation failure raises with the first element already applied — a
+half-applied batch (the PR 8 ``nt_store_words`` bug shape)."""
+
+EXPECT = ["mutate-before-validate"]
+
+
+class WordTable:
+    def __init__(self, device):
+        self.device = device
+        self.slots = {}
+
+    def store_words_v(self, words):
+        for offset, value in words:
+            if offset % 8 != 0:
+                raise ValueError(f"unaligned word offset {offset}")
+            self.slots[offset] = value

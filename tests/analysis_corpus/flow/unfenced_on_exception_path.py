@@ -1,0 +1,18 @@
+"""A swallowed exception lets commit() return with the nt_store
+possibly never fenced: the failure may hit *between* the store and the
+fence, the handler eats it, and the caller believes the op completed."""
+
+EXPECT = ["unfenced-on-exception-path"]
+
+
+class Region:
+    def __init__(self, device):
+        self.device = device
+
+    def commit(self, off, data):
+        try:
+            self.device.nt_store(off, data)
+            self.device.fence()
+        except OSError:
+            pass  # swallowed: the store above may still be unfenced
+        return True

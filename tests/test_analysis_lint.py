@@ -223,6 +223,7 @@ def test_every_documented_rule_has_a_description():
         "mgl-lock-order",
         "ambient-nondeterminism",
         "invalid-pragma",
+        "stale-pragma",
     }
     assert all(LINT_RULES.values())
 
