@@ -64,12 +64,20 @@ def run_experiment() -> dict:
         for seq in (True, False):
             key = f"{'seq' if seq else 'rand'}_{bs}"
             results[key] = round(_bench(bs, seq, nops), 1)
+    from repro.bench.provenance import provenance
+
     return {
         "results": results,
         "reference": reference,
         "speedup": {
             key: round(results[key] / ref, 2) for key, ref in reference.items()
         },
+        # wall-clock runs null their recorders, so telemetry is off by design
+        "provenance": provenance(
+            seed=7,
+            config={"fsize": FSIZE, "cases": list(CASES), "passes": PASSES},
+            conservation="disabled",
+        ),
     }
 
 

@@ -63,6 +63,8 @@ def _bench(bs: int, seq: bool, nops: int, fast_path: bool) -> float:
 
 
 def run_experiment() -> dict:
+    from repro.bench.provenance import provenance
+
     out = {"fast": {}, "slow": {}}
     for bs, nops in CASES:
         for seq in (True, False):
@@ -70,6 +72,12 @@ def run_experiment() -> dict:
             out["fast"][key] = round(_bench(bs, seq, nops, fast_path=True), 1)
             out["slow"][key] = round(_bench(bs, seq, nops, fast_path=False), 1)
     out["baseline"] = json.loads(BASELINE_PATH.read_text())
+    # wall-clock runs null their recorders, so telemetry is off by design
+    out["provenance"] = provenance(
+        seed=7,
+        config={"fsize": FSIZE, "cases": list(CASES), "passes": PASSES},
+        conservation="disabled",
+    )
     return out
 
 

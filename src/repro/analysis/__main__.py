@@ -87,6 +87,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="workload mode: fail on perf diagnostics too",
     )
     parser.add_argument("--seed", type=int, default=0, help="seed quoted in reproducer lines")
+    parser.add_argument(
+        "--bundle-dir",
+        metavar="DIR",
+        default=None,
+        help="workload mode: write a black-box bundle per failing finding "
+        "into DIR (capped at 5)",
+    )
     args = parser.parse_args(argv)
 
     if args.program:
@@ -104,6 +111,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     print(report.format())
     failing: List = report.findings if args.strict else report.errors
+
+    if args.bundle_dir and failing:
+        from repro.nvm.crash import CrashPolicy
+        from repro.obs import blackbox
+
+        for finding in failing[:5]:
+            bundle = blackbox.capture(
+                report.workload,
+                report.config_name,
+                finding.event_index,
+                seed=args.seed,
+                policy=CrashPolicy.KEEP_ALL,  # matches the reproducer line
+                kind="analysis-finding",
+                violations=[f"{finding.rule}: {finding.message}"],
+                reproducer=report.reproducer(finding),
+                extra={"rule": finding.rule, "severity": finding.severity},
+            )
+            path = blackbox.write_bundle(
+                bundle,
+                args.bundle_dir,
+                name=f"blackbox-analysis-{finding.rule}-at{finding.event_index}.json",
+            )
+            print(f"black-box bundle: {path}")
+
     return 1 if failing else 0
 
 

@@ -37,6 +37,12 @@ def main(argv=None) -> int:
         "(fig13-style layer attribution for every figure run)",
     )
     parser.add_argument(
+        "--perfetto",
+        metavar="FILE",
+        help="write a merged Chrome trace-event JSON of every run's span "
+        "timeline (one Perfetto process per run; load at ui.perfetto.dev)",
+    )
+    parser.add_argument(
         "--profile",
         metavar="FILE",
         help="run the selected experiments under cProfile and dump pstats "
@@ -56,6 +62,13 @@ def main(argv=None) -> int:
 
         breakdowns = []
         collect_breakdowns(breakdowns)
+
+    traces = None
+    if args.perfetto:
+        from repro.bench.harness import collect_perfetto
+
+        traces = []
+        collect_perfetto(traces)
 
     profiler = None
     if args.profile:
@@ -82,6 +95,10 @@ def main(argv=None) -> int:
             from repro.bench.harness import collect_breakdowns
 
             collect_breakdowns(None)
+        if traces is not None:
+            from repro.bench.harness import collect_perfetto
+
+            collect_perfetto(None)
 
     if profiler is not None:
         import pstats
@@ -103,6 +120,20 @@ def main(argv=None) -> int:
             json.dump(breakdowns, fh, indent=2, sort_keys=True)
         print(
             f"breakdown sidecar ({len(breakdowns)} runs) written to {args.breakdown}",
+            file=sys.stderr,
+        )
+    if args.perfetto:
+        from repro.obs import perfetto
+
+        merged = {
+            "traceEvents": [ev for doc in traces for ev in doc["traceEvents"]],
+            "displayTimeUnit": "ns",
+        }
+        perfetto.validate(merged)
+        with open(args.perfetto, "w", encoding="utf-8") as fh:
+            fh.write(perfetto.render(merged))
+        print(
+            f"perfetto trace ({len(traces)} runs) written to {args.perfetto}",
             file=sys.stderr,
         )
     return 0

@@ -13,6 +13,10 @@ from repro.workloads.fio import FioJob, FioResult, run_fio
 #: every filesystem it mounts and appends one breakdown record per run.
 _breakdown_sink: Optional[List[dict]] = None
 
+#: when set (via collect_perfetto), run_one also attaches an unbounded
+#: flight recorder and appends one trace-event document per run.
+_perfetto_sink: Optional[List[dict]] = None
+
 
 def collect_breakdowns(sink: Optional[List[dict]]) -> None:
     """Route per-run telemetry breakdowns into *sink* (None to stop).
@@ -23,6 +27,17 @@ def collect_breakdowns(sink: Optional[List[dict]]) -> None:
     """
     global _breakdown_sink
     _breakdown_sink = sink
+
+
+def collect_perfetto(sink: Optional[List[dict]]) -> None:
+    """Route per-run span timelines into *sink* (None to stop).
+
+    Each record is a Chrome trace-event document from
+    :func:`repro.obs.perfetto.from_flight`, one Perfetto process per
+    run — ``python -m repro.bench --perfetto`` merges and writes them.
+    """
+    global _perfetto_sink
+    _perfetto_sink = sink
 
 
 @dataclass
@@ -71,26 +86,44 @@ def run_one(
         mgsp_config=mgsp_config,
     )
     sink = _breakdown_sink
-    if sink is None:
+    traces = _perfetto_sink
+    if sink is None and traces is None:
         return run_fio(fs, job)
     from repro.obs.exporters import json_snapshot
     from repro.obs.spans import attach_telemetry
 
     telemetry = attach_telemetry(fs)
+    flight = None
+    if traces is not None:
+        from repro.obs.flight import attach_flight
+
+        flight = attach_flight(fs, capacity=0)
     result = run_fio(fs, job)
-    sink.append(
-        {
-            "fs": fs_name,
-            "job": {
-                "op": job.op,
-                "bs": job.bs,
-                "fsync": job.fsync,
-                "threads": job.threads,
-                "nops": job.nops,
-            },
-            "breakdown": json_snapshot(telemetry),
-        }
-    )
+    if sink is not None:
+        sink.append(
+            {
+                "fs": fs_name,
+                "job": {
+                    "op": job.op,
+                    "bs": job.bs,
+                    "fsync": job.fsync,
+                    "threads": job.threads,
+                    "nops": job.nops,
+                },
+                "breakdown": json_snapshot(telemetry),
+            }
+        )
+    if traces is not None:
+        from repro.obs import perfetto
+
+        traces.append(
+            perfetto.from_flight(
+                flight,
+                workload=fs_name,
+                config=f"{job.op}-bs{job.bs}-t{job.threads}",
+                pid=len(traces) + 1,
+            )
+        )
     return result
 
 

@@ -87,6 +87,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list workloads and configs, then exit"
     )
+    parser.add_argument(
+        "--bundle-dir",
+        metavar="DIR",
+        help="write a black-box bundle (flight-recorder tail, metrics, "
+        "held locks, reproducer) per failure into DIR",
+    )
+    parser.add_argument(
+        "--max-bundles",
+        type=int,
+        default=10,
+        help="cap on bundles written per run (default 10)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -146,6 +158,20 @@ def main(argv=None) -> int:
         if failure.minimized_words is not None:
             print(f"  minimized persisted words: {failure.minimized_words}")
         print(f"  reproduce: {failure.reproducer}")
+
+    if args.bundle_dir and report.failures:
+        from repro.obs import blackbox
+
+        emitted = 0
+        for failure in report.failures[: max(0, args.max_bundles)]:
+            path = blackbox.write_bundle(
+                blackbox.capture_failure(failure), args.bundle_dir
+            )
+            print(f"  black-box bundle: {path}")
+            emitted += 1
+        skipped = len(report.failures) - emitted
+        if skipped > 0:
+            print(f"  ({skipped} further failure(s) not bundled; --max-bundles)")
 
     print(
         f"\nswept {report.points_swept} crash points, checked "

@@ -79,6 +79,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default=None, help="write the JSON report here instead of stdout"
     )
+    parser.add_argument(
+        "--bundle-dir",
+        metavar="DIR",
+        default=None,
+        help="write a black-box bundle per true bug into DIR "
+        "(flight-recorder tail, metrics, held locks, reproducer)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -131,6 +138,51 @@ def main(argv=None) -> int:
                 f"{verdict.reason}",
                 file=sys.stderr,
             )
+
+    if args.bundle_dir:
+        from repro.obs import blackbox
+
+        for verdict in verdicts:
+            if verdict.status != TRUE_BUG:
+                continue
+            c = verdict.candidate
+            extra = {
+                "candidate": {"family": c.family, "a": c.a, "b": c.b},
+                "minimized_words": verdict.minimized_words,
+            }
+            failure = verdict.policy_failure
+            if failure is not None:
+                bundle = blackbox.capture(
+                    workload_name,
+                    config_name,
+                    failure.crash_after,
+                    seed=args.seed,
+                    policy=failure.policy,
+                    kind="infer-true-bug",
+                    violations=failure.violations,
+                    reproducer=failure.reproducer,
+                    extra=extra,
+                )
+            else:
+                # surgical bug: the minimized keep-set pins the image
+                at = verdict.target_points[0]
+                reproducer = verdict.reproducer or (
+                    f"python -m repro.infer --fs {args.fs} --workload {args.workload}"
+                    f" --budget {args.budget} --seed {args.seed}"
+                    f" (surgical probe at event {at})"
+                )
+                bundle = blackbox.capture(
+                    workload_name,
+                    config_name,
+                    at,
+                    seed=args.seed,
+                    persist_words=verdict.minimized_words,
+                    kind="infer-true-bug",
+                    reproducer=reproducer,
+                    extra=extra,
+                )
+            path = blackbox.write_bundle(bundle, args.bundle_dir)
+            print(f"black-box bundle: {path}", file=sys.stderr)
 
     if report["true_bugs"]:
         return 1

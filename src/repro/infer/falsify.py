@@ -147,6 +147,11 @@ class Verdict:
     reproducer: Optional[str] = None
     minimized_words: Optional[List[int]] = None
     retirement: Optional[str] = None
+    #: the phase-1 crashsweep Failure behind a policy-pass TRUE_BUG
+    #: (None for surgical bugs) — lets the CLI capture a black-box
+    #: bundle with the exact policy/crash-index pair, not a re-parse
+    #: of the reproducer string
+    policy_failure: Optional[object] = None
 
 
 def _probe_plan(candidate: Candidate) -> Optional[Tuple[int, List[int]]]:
@@ -249,6 +254,7 @@ def falsify(
             )
             verdict.reproducer = failure.reproducer
             verdict.minimized_words = failure.minimized_words
+            verdict.policy_failure = failure
             verdicts.append(verdict)
             continue
 

@@ -55,6 +55,64 @@ class DeviceStats:
         )
 
 
+class TapFanout:
+    """Dispatch ``analysis_tap`` callbacks to several observers in order.
+
+    ``device.analysis_tap`` is a single slot; the analyzer, the event
+    collector, and the flight recorder all want it. Composing them
+    through a fan-out keeps every observer's view identical to what it
+    would see alone — same callbacks, same order, same per-logical-op
+    granularity — so index parity holds for each of them independently.
+    """
+
+    __slots__ = ("taps",)
+
+    def __init__(self, taps=()) -> None:
+        self.taps = list(taps)
+
+    def on_store(self, offset: int, length: int, kind: str) -> None:
+        for tap in self.taps:
+            tap.on_store(offset, length, kind)
+
+    def on_flush(self, offset: int, length: int, nlines: int) -> None:
+        for tap in self.taps:
+            tap.on_flush(offset, length, nlines)
+
+    def on_fence(self) -> None:
+        for tap in self.taps:
+            tap.on_fence()
+
+    def on_drain(self) -> None:
+        for tap in self.taps:
+            tap.on_drain()
+
+
+def add_tap(device: "NvmDevice", tap) -> object:
+    """Attach *tap* to the device, composing with any existing observer
+    via :class:`TapFanout`. Returns *tap*."""
+    current = device.analysis_tap
+    if current is None:
+        device.analysis_tap = tap
+    elif isinstance(current, TapFanout):
+        current.taps.append(tap)
+    else:
+        device.analysis_tap = TapFanout([current, tap])
+    return tap
+
+
+def remove_tap(device: "NvmDevice", tap) -> None:
+    """Detach *tap*; collapses a one-element fan-out back to a bare slot."""
+    current = device.analysis_tap
+    if current is tap:
+        device.analysis_tap = None
+    elif isinstance(current, TapFanout) and tap in current.taps:
+        current.taps.remove(tap)
+        if len(current.taps) == 1:
+            device.analysis_tap = current.taps[0]
+        elif not current.taps:
+            device.analysis_tap = None
+
+
 class NvmDevice:
     """Byte-addressable persistent device with explicit persistence ops.
 

@@ -33,6 +33,12 @@ from repro.obs.registry import (
     percentile,
 )
 from repro.obs.spans import NULL_SINK, NullSink, Telemetry, attach_telemetry
+from repro.obs.flight import (
+    NULL_FLIGHT,
+    FlightRecorder,
+    NullFlightRecorder,
+    attach_flight,
+)
 from repro.obs.attribution import (
     lock_contention,
     time_breakdown,
@@ -50,6 +56,10 @@ __all__ = [
     "NullSink",
     "Telemetry",
     "attach_telemetry",
+    "NULL_FLIGHT",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "attach_flight",
     "time_breakdown",
     "write_breakdown",
     "lock_contention",

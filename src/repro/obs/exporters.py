@@ -21,7 +21,6 @@ import json
 from typing import Dict, List
 
 from repro.obs import attribution
-from repro.obs.registry import render_labels
 from repro.obs.spans import Telemetry
 
 
@@ -62,13 +61,61 @@ def _prom_name(name: str) -> str:
     return "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
 
 
+def _escape_label_value(value: str) -> str:
+    """Exposition-format label-value escaping: backslash, double-quote,
+    and line-feed (in that order — backslash first)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_labels(labels) -> str:
+    """Like :func:`repro.obs.registry.render_labels` but with values
+    escaped per the exposition format. Kept local on purpose: the
+    registry's renderer doubles as the JSON snapshot's series key, so
+    its output must stay verbatim."""
+    if not labels:
+        return ""
+    parts = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in labels)
+    return "{" + parts + "}"
+
+
+#: ``# HELP`` text per metric family; families not listed fall back to
+#: a generic line (the format requires HELP before the first sample).
+_HELP: Dict[str, str] = {
+    "checkpoint_bytes_total": "Bytes written back by checkpoint passes.",
+    "flusher_bytes_total": "Bytes written back by the async flusher daemon.",
+    "flusher_epochs_total": "Async write-back epochs the flusher completed.",
+    "flusher_deferred": "Dirty bytes deferred to the flusher at last count.",
+    "libnvmmio_bg_checkpoints_total": "Background checkpoints in the libnvmmio model.",
+    "lock_waits_total": "Simulated blocked lock acquisitions.",
+    "lock_wait_ns": "Virtual nanoseconds spent blocked on locks.",
+    "log_area_bytes": "Current per-file log area footprint.",
+    "metalog_commits_total": "Metadata-log commit records appended.",
+    "mgl_acquires_total": "Multi-granularity lock acquisitions.",
+    "mgl_hold_ns": "Virtual nanoseconds multi-granularity locks were held.",
+    "recovery_entries_discarded": "Log entries discarded during recovery.",
+    "recovery_entries_replayed": "Log entries replayed during recovery.",
+    "recovery_log_bytes_written_back": "Log bytes written back during recovery.",
+    "service_admission_rejects_total": "Requests rejected by tenant token buckets.",
+    "service_latency_ns": "Per-request virtual latency across all tenants.",
+    "service_shard_makespan_ns": "Replay makespan of the shard's streams.",
+    "service_shard_utilization": "Busy channel time over makespan x channels.",
+    "service_tenant_errors_total": "Tenant requests that raised a service error.",
+    "service_tenants": "Tenants registered on the shard.",
+    "span_calls_total": "Telemetry span entries, by span name.",
+    "span_ns": "Virtual nanoseconds per telemetry span.",
+    "txn_commits_total": "Transactions committed.",
+    "txn_rollbacks_total": "Transactions rolled back.",
+}
+
+
 def to_prometheus(tel: Telemetry) -> str:
     """Prometheus text exposition format (0.0.4) for the registry.
 
     Counters and gauges render one sample each; histograms render
     cumulative ``_bucket`` series (with the canonical ``+Inf`` bound)
     plus ``_sum`` and ``_count``. Metric families are emitted in
-    sorted-name order and carry one ``# TYPE`` header each.
+    sorted-name order; each carries one ``# HELP`` and one ``# TYPE``
+    header, and label values are escaped per the exposition format.
     """
     lines: List[str] = []
     seen_type: set = set()
@@ -76,16 +123,18 @@ def to_prometheus(tel: Telemetry) -> str:
     def header(name: str, kind: str) -> None:
         if name not in seen_type:
             seen_type.add(name)
+            help_text = _HELP.get(name, "repro telemetry metric.")
+            lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {kind}")
 
     for counter in tel.registry.counters():
         name = _prom_name(counter.name)
         header(name, "counter")
-        lines.append(f"{name}{render_labels(counter.labels)} {_fmt(counter.value)}")
+        lines.append(f"{name}{_prom_labels(counter.labels)} {_fmt(counter.value)}")
     for gauge in tel.registry.gauges():
         name = _prom_name(gauge.name)
         header(name, "gauge")
-        lines.append(f"{name}{render_labels(gauge.labels)} {_fmt(gauge.value)}")
+        lines.append(f"{name}{_prom_labels(gauge.labels)} {_fmt(gauge.value)}")
     for hist in tel.registry.histograms():
         name = _prom_name(hist.name)
         header(name, "histogram")
@@ -93,11 +142,11 @@ def to_prometheus(tel: Telemetry) -> str:
         for idx, bound in enumerate(hist.bounds):
             cumulative += hist.counts[idx]
             labels = hist.labels + (("le", _fmt(bound)),)
-            lines.append(f"{name}_bucket{render_labels(labels)} {cumulative}")
+            lines.append(f"{name}_bucket{_prom_labels(labels)} {cumulative}")
         labels = hist.labels + (("le", "+Inf"),)
-        lines.append(f"{name}_bucket{render_labels(labels)} {hist.count}")
-        lines.append(f"{name}_sum{render_labels(hist.labels)} {_fmt(hist.sum)}")
-        lines.append(f"{name}_count{render_labels(hist.labels)} {hist.count}")
+        lines.append(f"{name}_bucket{_prom_labels(labels)} {hist.count}")
+        lines.append(f"{name}_sum{_prom_labels(hist.labels)} {_fmt(hist.sum)}")
+        lines.append(f"{name}_count{_prom_labels(hist.labels)} {hist.count}")
     return "\n".join(lines) + "\n"
 
 

@@ -1,0 +1,346 @@
+"""The black-box flight recorder: a bounded ring of recent events.
+
+Always-on observability for the failure detectors: a
+:class:`FlightRecorder` keeps the *tail* of the run's history — device
+persistence events (store/flush/fence), span open/close, lock
+acquire/release, op boundaries, and explicit protocol-step markers —
+in a fixed-capacity ring stamped with the virtual clock. When a check
+fails, the ring is exactly the context a human needs: what the system
+was doing in the moments before the crash point.
+
+Design constraints, in order:
+
+- **Determinism.** Timestamps come from the bound cost recorders'
+  ``clock_ns`` (virtual time) only; recording reads state but never
+  mutates clocks, device counters, or crash images. Two identical runs
+  produce byte-identical ring snapshots, and a run with the recorder
+  attached is byte-identical (crash images, ``DeviceStats``, verdicts)
+  to the same run without it — the determinism gate in
+  ``tests/test_obs_flight.py`` asserts both.
+- **Index parity.** Device events consume indices exactly like
+  :class:`repro.infer.events.EventCollector` and the crashsweep census:
+  one index per store / clwb call / fence (per element inside the
+  vectorized entry points), reset to zero by ``on_drain``. A ring
+  entry's index therefore *is* a ``--at N`` crash index.
+- **Null-object detachment.** The module-level :data:`NULL_FLIGHT`
+  (``enabled = False``) is the detached recorder; hot paths that keep a
+  ``flight`` reference pay one attribute check when recording is off,
+  mirroring :data:`repro.obs.spans.NULL_SINK`.
+
+Ring entries are plain tuples, kind-tagged in slot 0:
+
+========== ===========================================================
+kind        payload
+========== ===========================================================
+store       ``(index, t_ns, offset, length, store_kind, op, spans)``
+flush       ``(index, t_ns, offset, length, nlines, op, spans)``
+fence       ``(index, t_ns, op, spans)``
+span-open   ``(t_ns, name)``
+span-close  ``(t_ns, name, dur_ns)``
+lock        ``(t_ns, key, mode)``
+unlock      ``(t_ns, key)``
+op-begin    ``(t_ns, name, op_seq)``
+op-end      ``(t_ns, name)``
+mark        ``(t_ns, text)``
+========== ===========================================================
+
+``spans`` is the tuple of currently-open span names (innermost last)
+at the moment of the device event — the "protocol step" forensics the
+postmortem narrator leans on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nvm.device import add_tap
+
+
+class NullFlightRecorder:
+    """Detached recorder: one attribute check, nothing recorded."""
+
+    enabled = False
+
+    def events_list(self) -> List[tuple]:
+        return []
+
+    def mark(self, text: str) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"capacity": 0, "recorded": 0, "dropped": 0, "events": []}
+
+    def held_locks_snapshot(self) -> List[List[str]]:
+        return []
+
+    def on_store(self, offset: int, length: int, kind: str) -> None:
+        pass
+
+    def on_flush(self, offset: int, length: int, nlines: int) -> None:
+        pass
+
+    def on_fence(self) -> None:
+        pass
+
+    def on_drain(self) -> None:
+        pass
+
+    def on_op_begin(self, name: str) -> None:
+        pass
+
+    def on_op_end(self, name: str) -> None:
+        pass
+
+    def on_lock(self, key, mode: str = "X") -> None:
+        pass
+
+    def on_unlock(self, key) -> None:
+        pass
+
+    def on_span_open(self, name: str, t_ns: float) -> None:
+        pass
+
+    def on_span_close(self, name: str, t_ns: float, dur_ns: float) -> None:
+        pass
+
+
+#: the shared detached recorder (``Telemetry.flight`` stays ``None``
+#: instead, but code handed "a flight recorder" can default to this).
+NULL_FLIGHT = NullFlightRecorder()
+
+
+def _render_key(key) -> str:
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+class FlightRecorder:
+    """Bounded, virtual-time-stamped event ring with crashsweep-parity
+    device-event indices.
+
+    ``capacity=0`` means unbounded (used by the postmortem replays that
+    need the whole stream); any positive capacity bounds memory and
+    keeps only the tail, counting evictions in :attr:`dropped`.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 256, regions=None) -> None:
+        self.capacity = capacity
+        self.regions = regions
+        self._ring = deque() if capacity == 0 else deque(maxlen=capacity)
+        self.dropped = 0
+        self.recorded = 0
+        #: crashsweep-parity device-event index (see module docstring)
+        self.event_index = 0
+        self._clocks: Tuple[object, ...] = ()
+        #: rendered lock key -> mode, in acquisition order
+        self.held_locks: Dict[str, str] = {}
+        self._span_stack: List[str] = []
+        self.op: Optional[str] = None
+        self.op_seq = -1
+
+    # -- binding / clock ----------------------------------------------------
+
+    def bind(self, clocks: Sequence[object]) -> None:
+        """Set the virtual-time source: recorders exposing ``clock_ns``."""
+        self._clocks = tuple(clocks)
+
+    def now(self) -> float:
+        return sum(clock.clock_ns for clock in self._clocks)
+
+    # -- ring ---------------------------------------------------------------
+
+    def _append(self, entry: tuple) -> None:
+        ring = self._ring
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.dropped += 1
+        ring.append(entry)
+        self.recorded += 1
+
+    def events_list(self) -> List[tuple]:
+        return list(self._ring)
+
+    # -- device.analysis_tap (index parity with EventCollector) -------------
+
+    def _next_index(self) -> int:
+        idx = self.event_index
+        self.event_index += 1
+        return idx
+
+    def on_store(self, offset: int, length: int, kind: str) -> None:
+        self._append(
+            ("store", self._next_index(), self.now(), offset, length, kind,
+             self.op, tuple(self._span_stack))
+        )
+
+    def on_flush(self, offset: int, length: int, nlines: int) -> None:
+        self._append(
+            ("flush", self._next_index(), self.now(), offset, length, nlines,
+             self.op, tuple(self._span_stack))
+        )
+
+    def on_fence(self) -> None:
+        self._append(
+            ("fence", self._next_index(), self.now(), self.op, tuple(self._span_stack))
+        )
+
+    def on_drain(self) -> None:
+        """Setup boundary: pre-history is discarded and indices restart,
+        exactly like the collector and the census baseline."""
+        self._ring.clear()
+        self.dropped = 0
+        self.recorded = 0
+        self.event_index = 0
+
+    # -- recorder-wrapper hooks (ops + locks) -------------------------------
+
+    def on_op_begin(self, name: str) -> None:
+        self.op_seq += 1
+        self.op = name
+        self._append(("op-begin", self.now(), name, self.op_seq))
+
+    def on_op_end(self, name: str) -> None:
+        self._append(("op-end", self.now(), name))
+        self.op = None
+
+    def on_lock(self, key, mode) -> None:
+        rendered = _render_key(key)
+        self.held_locks[rendered] = str(mode)
+        self._append(("lock", self.now(), rendered, str(mode)))
+
+    def on_unlock(self, key) -> None:
+        rendered = _render_key(key)
+        self.held_locks.pop(rendered, None)
+        self._append(("unlock", self.now(), rendered))
+
+    # -- telemetry span hooks -----------------------------------------------
+
+    def on_span_open(self, name: str, t_ns: float) -> None:
+        self._span_stack.append(name)
+        self._append(("span-open", t_ns, name))
+
+    def on_span_close(self, name: str, t_ns: float, dur_ns: float) -> None:
+        # Self-healing parity with Telemetry.span_end: frames abandoned
+        # by an exception unwind never see a close, so pop through them.
+        stack = self._span_stack
+        while stack:
+            if stack.pop() == name:
+                break
+        self._append(("span-close", t_ns, name, dur_ns))
+
+    # -- protocol-step markers ----------------------------------------------
+
+    def mark(self, text: str) -> None:
+        """Record an explicit protocol-step marker."""
+        self._append(("mark", self.now(), text))
+
+    # -- export -------------------------------------------------------------
+
+    def held_locks_snapshot(self) -> List[List[str]]:
+        return [[key, mode] for key, mode in self.held_locks.items()]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe view of the ring (tuples become lists)."""
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "events": [list(entry) for entry in self._ring],
+        }
+
+
+class FlightRecorderWrapper:
+    """A conforming ``Recorder`` that feeds op boundaries and lock
+    events to the flight recorder; everything else forwards. Mirrors
+    :class:`repro.analysis.analyzer.AnalysisRecorder` so the two can
+    stack in either order."""
+
+    def __init__(self, inner, flight: FlightRecorder) -> None:
+        self.inner = inner
+        self.flight = flight
+
+    @property
+    def timing(self):
+        return self.inner.timing
+
+    @property
+    def enabled(self) -> bool:
+        return self.inner.enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self.inner.enabled = value
+
+    @property
+    def clock_ns(self) -> float:
+        return self.inner.clock_ns
+
+    # -- op lifecycle ------------------------------------------------------
+
+    def begin_op(self, name: str) -> None:
+        self.inner.begin_op(name)
+        self.flight.on_op_begin(name)
+
+    def end_op(self):
+        trace = self.inner.end_op()
+        self.flight.on_op_end(trace.name)
+        return trace
+
+    def take_completed(self):
+        return self.inner.take_completed()
+
+    # -- explicit costs ----------------------------------------------------
+
+    def compute(self, ns: float) -> None:
+        self.inner.compute(ns)
+
+    def lock(self, key, mode) -> None:
+        self.inner.lock(key, mode)
+        self.flight.on_lock(key, mode)
+
+    def unlock(self, key) -> None:
+        self.inner.unlock(key)
+        self.flight.on_unlock(key)
+
+    # -- device tracer interface -------------------------------------------
+
+    def io_write(self, nbytes: int) -> None:
+        self.inner.io_write(nbytes)
+
+    def io_cached(self, nbytes: int) -> None:
+        self.inner.io_cached(nbytes)
+
+    def io_read(self, nbytes: int) -> None:
+        self.inner.io_read(nbytes)
+
+    def io_flush(self, nlines: int) -> None:
+        self.inner.io_flush(nlines)
+
+    def io_fence(self) -> None:
+        self.inner.io_fence()
+
+
+def attach_flight(system, capacity: int = 256, telemetry=None, regions=None) -> FlightRecorder:
+    """Attach a flight recorder to a workload system (a mounted file
+    system or a crashsweep ``RawSystem``).
+
+    Composes with any observer already on ``device.analysis_tap`` via
+    the fan-out, wraps the foreground recorder for op/lock events, and
+    — when telemetry is live (attach it first) — hooks span open/close
+    through ``Telemetry.flight``.
+    """
+    flight = FlightRecorder(capacity=capacity, regions=regions)
+    clocks = [system.recorder]
+    bg = getattr(system, "bg_recorder", None)
+    if bg is not None:
+        clocks.append(bg)
+    flight.bind(clocks)
+    add_tap(system.device, flight)
+    system.recorder = FlightRecorderWrapper(system.recorder, flight)
+    tel = telemetry if telemetry is not None else getattr(system, "obs", None)
+    if tel is not None and getattr(tel, "enabled", False):
+        tel.flight = flight
+    return flight

@@ -32,6 +32,7 @@ class ObsRun:
     config_name: str
     telemetry: Telemetry
     outcome: object  # crashsweep RunOutcome (fs still mounted)
+    flight: object = None  # FlightRecorder when requested, else None
 
     @property
     def fs(self):
@@ -42,6 +43,7 @@ def run_workload(
     workload: str,
     config: str,
     registry: "MetricsRegistry | None" = None,
+    flight_capacity: "int | None" = None,
 ) -> ObsRun:
     """Replay one crash-sweep workload to completion under telemetry.
 
@@ -59,6 +61,12 @@ def run_workload(
 
     def instrument(fs) -> None:
         holder["telemetry"] = attach_telemetry(fs, registry=registry)
+        if flight_capacity is not None:
+            from repro.obs.flight import attach_flight
+
+            holder["flight"] = attach_flight(
+                fs, capacity=flight_capacity, regions=wl.region_map(fs)
+            )
 
     outcome = wl.run(cname, instrument=instrument)
     return ObsRun(
@@ -66,4 +74,5 @@ def run_workload(
         config_name=cname,
         telemetry=holder["telemetry"],
         outcome=outcome,
+        flight=holder.get("flight"),
     )

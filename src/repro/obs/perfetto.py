@@ -1,0 +1,219 @@
+"""Chrome trace-event export: span timelines loadable in Perfetto.
+
+Two sources feed the same JSON shape
+(``{"traceEvents": [...], "displayTimeUnit": "ns"}``):
+
+- :func:`from_flight` — the flight recorder's span-close ring entries
+  become ``"X"`` (complete) events, one track per fig13 layer
+  (:func:`repro.obs.attribution.layer_of`), plus an ``ops`` track for
+  op begin/end markers and a ``device`` track of fence instants;
+- :func:`from_timelines` — :class:`repro.sim.engine.ReplayResult`
+  timelines from a multi-tenant service run become per-tenant lanes
+  (one Perfetto *process* per shard, one *thread* per tenant stream),
+  each segment an ``"X"`` event named by its kind
+  (``compute`` / ``io`` / ``wait``).
+
+Timestamps are virtual nanoseconds converted to the trace-event
+microsecond unit (fractional µs keep full ns precision). Everything is
+derived from deterministic inputs, so the rendered JSON is
+byte-reproducible; :func:`validate` is the schema check CI runs on the
+exported files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.attribution import layer_of
+
+#: trace-event phase codes we emit
+_COMPLETE = "X"
+_INSTANT = "i"
+_METADATA = "M"
+
+#: reserved tids on the single-device (flight-recorder) timeline
+_OPS_TID = 1
+_DEVICE_TID = 2
+_LAYER_TID0 = 10
+
+
+def _us(ns: float) -> float:
+    return ns / 1000.0
+
+
+def _meta(pid: int, tid: int, what: str, name: str) -> Dict[str, object]:
+    return {
+        "ph": _METADATA,
+        "pid": pid,
+        "tid": tid,
+        "name": what,
+        "args": {"name": name},
+    }
+
+
+def from_flight(
+    flight,
+    workload: str = "workload",
+    config: str = "",
+    pid: int = 1,
+    fences: bool = True,
+) -> Dict[str, object]:
+    """Build a trace-event document from a flight recorder's ring.
+
+    Span-close entries carry both the end timestamp and the duration,
+    so each one yields a complete event on its layer's track — opens
+    evicted from a bounded ring cost nothing but the spans they began.
+    """
+    events: List[Dict[str, object]] = []
+    layer_tids: Dict[str, int] = {}
+
+    def layer_tid(layer: str) -> int:
+        tid = layer_tids.get(layer)
+        if tid is None:
+            tid = _LAYER_TID0 + len(layer_tids)
+            layer_tids[layer] = tid
+        return tid
+
+    open_ops: List[tuple] = []
+    for entry in flight.events_list():
+        kind = entry[0]
+        if kind == "span-close":
+            _, end_ns, name, dur_ns = entry
+            events.append(
+                {
+                    "ph": _COMPLETE,
+                    "pid": pid,
+                    "tid": layer_tid(layer_of(name)),
+                    "name": name,
+                    "cat": layer_of(name),
+                    "ts": _us(end_ns - dur_ns),
+                    "dur": _us(dur_ns),
+                }
+            )
+        elif kind == "op-begin":
+            _, t, name, seq = entry
+            open_ops.append((name, t, seq))
+        elif kind == "op-end":
+            _, t, name = entry
+            if open_ops and open_ops[-1][0] == name:
+                _oname, start, seq = open_ops.pop()
+                events.append(
+                    {
+                        "ph": _COMPLETE,
+                        "pid": pid,
+                        "tid": _OPS_TID,
+                        "name": name,
+                        "cat": "op",
+                        "ts": _us(start),
+                        "dur": _us(t - start),
+                        "args": {"seq": seq},
+                    }
+                )
+        elif kind == "fence" and fences:
+            _, idx, t, op, _spans = entry
+            events.append(
+                {
+                    "ph": _INSTANT,
+                    "pid": pid,
+                    "tid": _DEVICE_TID,
+                    "name": "fence",
+                    "cat": "device",
+                    "s": "t",
+                    "ts": _us(t),
+                    "args": {"event": idx, "op": op},
+                }
+            )
+
+    label = f"{workload}/{config}" if config else workload
+    meta = [_meta(pid, 0, "process_name", f"repro:{label}")]
+    meta.append(_meta(pid, _OPS_TID, "thread_name", "ops"))
+    if fences:
+        meta.append(_meta(pid, _DEVICE_TID, "thread_name", "device fences"))
+    for layer in sorted(layer_tids, key=layer_tids.get):
+        meta.append(_meta(pid, layer_tids[layer], "thread_name", f"layer:{layer}"))
+    return {"traceEvents": meta + events, "displayTimeUnit": "ns"}
+
+
+def from_timelines(
+    timelines: Sequence[Sequence[tuple]],
+    lane_names: Optional[Sequence[Sequence[str]]] = None,
+    shard_names: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Per-tenant lanes from replay-engine timelines.
+
+    *timelines* is one sequence per shard of ``(tid, start, end, kind)``
+    segments (:attr:`ReplayResult.timeline` with ``record_timeline``).
+    *lane_names* optionally names each shard's threads (tenants, then
+    the writeback daemon); *shard_names* names the processes.
+    """
+    events: List[Dict[str, object]] = []
+    meta: List[Dict[str, object]] = []
+    for shard, timeline in enumerate(timelines):
+        pid = shard + 1
+        sname = (
+            shard_names[shard]
+            if shard_names and shard < len(shard_names)
+            else f"shard {shard}"
+        )
+        meta.append(_meta(pid, 0, "process_name", f"repro.service:{sname}"))
+        names = lane_names[shard] if lane_names and shard < len(lane_names) else ()
+        seen: set = set()
+        for tid, start, end, kind in timeline:
+            if tid not in seen:
+                seen.add(tid)
+                label = names[tid] if tid < len(names) else f"stream {tid}"
+                meta.append(_meta(pid, tid + 1, "thread_name", label))
+            events.append(
+                {
+                    "ph": _COMPLETE,
+                    "pid": pid,
+                    "tid": tid + 1,
+                    "name": kind,
+                    "cat": kind,
+                    "ts": _us(start),
+                    "dur": _us(end - start),
+                }
+            )
+    return {"traceEvents": meta + events, "displayTimeUnit": "ns"}
+
+
+def render(doc: Dict[str, object]) -> str:
+    """Deterministic JSON text (Perfetto and ``chrome://tracing`` both
+    load it)."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def validate(doc: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless *doc* is well-formed trace-event
+    JSON: the schema check CI applies to every exported file."""
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if ph not in (_COMPLETE, _INSTANT, _METADATA):
+            raise ValueError(f"traceEvents[{i}]: unknown phase {ph!r}")
+        if not isinstance(ev.get("name"), str):
+            raise ValueError(f"traceEvents[{i}]: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                raise ValueError(f"traceEvents[{i}]: {key} must be an int")
+        if ph == _COMPLETE:
+            for key in ("ts", "dur"):
+                value = ev.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ValueError(
+                        f"traceEvents[{i}]: {key} must be a non-negative number"
+                    )
+        elif ph == _INSTANT:
+            if not isinstance(ev.get("ts"), (int, float)):
+                raise ValueError(f"traceEvents[{i}]: ts must be a number")
+        elif ph == _METADATA:
+            args = ev.get("args")
+            if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+                raise ValueError(f"traceEvents[{i}]: metadata needs args.name")

@@ -115,6 +115,10 @@ class Telemetry:
         self._bytes0 = 0
         self._root_ns = 0.0
         self._root_bytes = 0
+        #: optional :class:`repro.obs.flight.FlightRecorder` fed span
+        #: open/close events (set by ``attach_flight``; None when no
+        #: recorder is attached — one attribute check on the span path)
+        self.flight = None
 
     # -- binding -----------------------------------------------------------
 
@@ -157,6 +161,8 @@ class Telemetry:
     def span_begin(self, name: str, **labels) -> _Frame:
         frame = _Frame(name, labels, self.now(), self.stored_bytes())
         self._stack.append(frame)
+        if self.flight is not None:
+            self.flight.on_span_open(name, frame.start_ns)
         return frame
 
     def span_end(self, frame: _Frame) -> None:
@@ -189,6 +195,8 @@ class Telemetry:
         reg = self.registry
         reg.counter("span_calls_total", span=frame.name, **frame.labels).inc()
         reg.histogram("span_ns", span=frame.name).observe(ns)
+        if self.flight is not None:
+            self.flight.on_span_close(frame.name, frame.start_ns + ns, ns)
 
     @contextmanager
     def span(self, name: str, **labels):

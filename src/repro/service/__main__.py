@@ -40,6 +40,13 @@ def main(argv=None) -> int:
     parser.add_argument("--tenant-counts", type=_int_list, default=None)
     parser.add_argument("--shard-counts", type=_int_list, default=None)
     parser.add_argument("--out", default=None, help="write sweep JSON here")
+    parser.add_argument("--perfetto", metavar="FILE", default=None,
+                        help="single-run mode: export per-tenant replay "
+                        "lanes as Chrome trace-event JSON (Perfetto)")
+    parser.add_argument("--bundle-dir", metavar="DIR", default=None,
+                        help="write a black-box bundle per tenant error")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="run bare shards (no span/byte telemetry)")
     args = parser.parse_args(argv)
 
     if args.sweep:
@@ -67,11 +74,25 @@ def main(argv=None) -> int:
         shards=args.shards,
         device_size=args.device_size,
         quota=TenantQuota(ops_per_sec=args.quota_ops, burst=args.burst),
+        telemetry=not args.no_telemetry,
+        record_timeline=args.perfetto is not None,
+        bundle_dir=args.bundle_dir,
     )
-    report = run_service_workload(
+    report, service = run_service_workload(
         config, tenants=args.tenants, ops_per_tenant=args.ops,
-        bs=args.bs, seed=args.seed,
+        bs=args.bs, seed=args.seed, return_service=True,
     )
+    if args.perfetto:
+        from repro.obs import perfetto
+
+        doc = perfetto.from_timelines(
+            service.timelines, lane_names=service.lane_names
+        )
+        perfetto.validate(doc)
+        with open(args.perfetto, "w", encoding="utf-8") as fh:
+            fh.write(perfetto.render(doc))
+        print(f"wrote {args.perfetto} "
+              f"({sum(len(t) for t in service.timelines)} segments)")
     print(f"service: {report.tenants} tenants x {report.shards} shard(s)")
     print(f"  makespan    {report.makespan_ns / 1e6:10.3f} ms (virtual)")
     print(f"  throughput  {report.throughput_mb_s:10.1f} MB/s")

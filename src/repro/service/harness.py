@@ -14,6 +14,7 @@ import json
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
+from repro.bench.provenance import provenance
 from repro.service.service import ServiceConfig, run_service_workload
 
 DEFAULT_TENANTS: Sequence[int] = (16, 64, 256, 1000)
@@ -76,15 +77,30 @@ def run_cell(spec: SweepSpec, tenants: int, shards: int) -> dict:
         device_size=spec.device_size * scale,
         file_capacity=spec.file_capacity,
     )
-    report = run_service_workload(
+    report, service = run_service_workload(
         config,
         tenants=tenants,
         ops_per_tenant=spec.ops_per_tenant,
         bs=spec.bs,
         seed=spec.seed,
         mean_gap_ns=spec.mean_gap_ns,
+        return_service=True,
+    )
+    stamp = provenance(
+        seed=spec.seed,
+        config={
+            "tenants": tenants,
+            "shards": shards,
+            "device_size": spec.device_size * scale,
+            "file_capacity": spec.file_capacity,
+            "ops_per_tenant": spec.ops_per_tenant,
+            "bs": spec.bs,
+            "mean_gap_ns": spec.mean_gap_ns,
+        },
+        telemetries=[fs.obs for fs in service.shards],
     )
     return {
+        "provenance": stamp,
         "tenants": tenants,
         "shards": shards,
         "makespan_ns": report.makespan_ns,

@@ -121,6 +121,17 @@ class ServiceConfig:
     quota: TenantQuota = field(default_factory=TenantQuota)
     drr_quantum: int = 8192
     fs_config: Optional[MgspConfig] = None
+    #: attach span/byte telemetry to every shard (off = bare shards;
+    #: reports and device state must be identical either way)
+    telemetry: bool = True
+    #: attach a flight recorder of this capacity to every shard
+    #: (0 = unbounded; None = no recorder)
+    flight_capacity: Optional[int] = None
+    #: keep per-thread replay timelines (disables replay batching) —
+    #: the source for per-tenant Perfetto lanes
+    record_timeline: bool = False
+    #: write a black-box bundle here when a tenant request errors
+    bundle_dir: Optional[str] = None
 
     def make_fs_config(self) -> MgspConfig:
         if self.fs_config is not None:
@@ -139,10 +150,23 @@ class MgspService:
         self.shard_map = ShardMap(config.shards)
         fs_config = config.make_fs_config()
         self.shards: List[MgspFilesystem] = []
+        self.flights: List[object] = []
+        self.timelines: List[List[tuple]] = []
+        self.lane_names: List[List[str]] = []
+        self.error_bundles: List[Dict[str, object]] = []
         for _ in range(config.shards):
             fs = MgspFilesystem(device_size=config.device_size, config=fs_config)
-            attach_telemetry(fs, registry=self.registry)
+            if config.telemetry:
+                attach_telemetry(fs, registry=self.registry)
             fs.device.drain()
+            if config.flight_capacity is not None:
+                from repro.obs.flight import attach_flight
+
+                self.flights.append(
+                    attach_flight(fs, capacity=config.flight_capacity)
+                )
+            else:
+                self.flights.append(None)
             self.shards.append(fs)
         self.schedulers = [DeficitRoundRobin(config.drr_quantum) for _ in range(config.shards)]
         self.sessions: Dict[str, Session] = {}
@@ -194,21 +218,43 @@ class MgspService:
         for tenant, request in self.schedulers[shard].drain():
             session = self.sessions[tenant]
             fs.current_thread = session.thread
-            if request.kind == "write":
-                session.handle.write(request.offset, b"\xab" * request.nbytes)
-                session.handle.fsync()
-                session.bytes_written += request.nbytes
-            elif request.kind == "read":
-                session.handle.read(request.offset, request.nbytes)
-                session.bytes_read += request.nbytes
-            else:
-                raise ValueError(f"unknown request kind {request.kind!r}")
+            try:
+                if request.kind == "write":
+                    session.handle.write(request.offset, b"\xab" * request.nbytes)
+                    session.handle.fsync()
+                    session.bytes_written += request.nbytes
+                elif request.kind == "read":
+                    session.handle.read(request.offset, request.nbytes)
+                    session.bytes_read += request.nbytes
+                else:
+                    raise ValueError(f"unknown request kind {request.kind!r}")
+            except Exception as exc:
+                self._note_tenant_error(shard, tenant, request, exc)
+                raise
             new = fs.take_traces()
             session.traces.extend(new)
             if new:
                 session.latencies_ns.append(
                     sum(tr.duration_ns(fs.timing.lock_ns) for tr in new)
                 )
+
+    def _note_tenant_error(self, shard: int, tenant: str, request: Request,
+                           exc: BaseException) -> None:
+        """Record a black-box bundle for a failing tenant request before
+        the error propagates."""
+        from repro.obs import blackbox
+
+        self.registry.counter(
+            "service_tenant_errors_total", shard=str(shard)
+        ).inc()
+        bundle = blackbox.service_error_bundle(self, shard, tenant, request, exc)
+        self.error_bundles.append(bundle)
+        if self.config.bundle_dir:
+            blackbox.write_bundle(
+                bundle,
+                self.config.bundle_dir,
+                name=f"blackbox-service-error-shard{shard}-{tenant}.json",
+            )
 
     def _replay_shard(self, shard: int) -> ShardReport:
         fs = self.shards[shard]
@@ -229,7 +275,18 @@ class MgspService:
             starts.append(0.0)
             daemon = 1 if fs.bg_daemon else 0
         engine = ReplayEngine(fs.timing, obs=fs.obs)
-        result = engine.run(streams, background=daemon, start_times=starts)
+        result = engine.run(
+            streams,
+            background=daemon,
+            start_times=starts,
+            record_timeline=self.config.record_timeline,
+        )
+        if self.config.record_timeline:
+            names = [session.tenant for session in shard_sessions]
+            if daemon:
+                names.append("writeback")
+            self.timelines.append(list(result.timeline))
+            self.lane_names.append(names)
         io_ns = sum(t.io_ns for t in result.threads)
         channels = max(1, fs.timing.channels)
         util = (
@@ -331,9 +388,14 @@ def run_service_workload(
     mean_gap_ns: float = 2_000.0,
     read_ratio: float = 0.0,
     registry: Optional[MetricsRegistry] = None,
-) -> ServiceReport:
+    return_service: bool = False,
+):
     """Register *tenants* clients, offer their seeded streams in global
-    arrival order, and run the service."""
+    arrival order, and run the service.
+
+    Returns the :class:`ServiceReport`, or ``(report, service)`` when
+    *return_service* is true (exporters need the live service for
+    timelines, flight recorders, and conservation checks)."""
     service = MgspService(config, registry=registry)
     names = [f"t{idx:04d}" for idx in range(tenants)]
     for name in names:
@@ -353,4 +415,7 @@ def run_service_workload(
     offered.sort(key=lambda item: (item[0], item[1]))
     for _, _, name, request in offered:
         service.submit(name, request)
-    return service.run()
+    report = service.run()
+    if return_service:
+        return report, service
+    return report

@@ -1,0 +1,104 @@
+"""Perfetto (Chrome trace-event) export: schema, tracks, determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import perfetto
+from repro.obs.__main__ import main as obs_main
+from repro.obs.harness import run_workload
+
+
+@pytest.fixture(scope="module")
+def fio_run():
+    return run_workload("fio", "mgsp-sync", flight_capacity=0)
+
+
+def _thread_names(doc):
+    return {
+        (e["pid"], e["tid"]): e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+
+
+def test_from_flight_schema_and_tracks(fio_run):
+    doc = perfetto.from_flight(
+        fio_run.flight, workload=fio_run.workload, config=fio_run.config_name
+    )
+    perfetto.validate(doc)
+    names = set(_thread_names(doc).values())
+    # per-layer tracks for a single-device run
+    assert "ops" in names
+    assert {"layer:data", "layer:metadata", "layer:lock"} <= names
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert xs
+    assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in xs)
+    # every complete event lives on a named track
+    tracks = set(_thread_names(doc))
+    assert all((e["pid"], e["tid"]) in tracks for e in xs)
+
+
+def test_from_flight_deterministic(fio_run):
+    again = run_workload("fio", "mgsp-sync", flight_capacity=0)
+    one = perfetto.render(perfetto.from_flight(fio_run.flight, workload="w"))
+    two = perfetto.render(perfetto.from_flight(again.flight, workload="w"))
+    assert one == two
+
+
+def test_cli_perfetto_format(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    rc = obs_main(
+        ["--workload", "toy-misordered", "--config", "sync",
+         "--format", "perfetto", "--out", str(out)]
+    )
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    perfetto.validate(doc)
+    assert any(e["name"] == "fence" for e in doc["traceEvents"])
+
+
+def test_service_tenant_lanes():
+    from repro.service.service import ServiceConfig, run_service_workload
+
+    config = ServiceConfig(shards=2, record_timeline=True)
+    report, service = run_service_workload(
+        config, tenants=8, ops_per_tenant=4, return_service=True
+    )
+    assert len(service.timelines) == 2
+    doc = perfetto.from_timelines(service.timelines, lane_names=service.lane_names)
+    perfetto.validate(doc)
+    threads = _thread_names(doc)
+    # one Perfetto process per shard, one lane per tenant
+    assert {pid for pid, _ in threads} == {1, 2}
+    tenant_lanes = [n for n in threads.values() if n.startswith("t0")]
+    assert len(tenant_lanes) == 8
+    kinds = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert kinds <= {"compute", "io", "wait"}
+    assert "io" in kinds
+
+
+def test_record_timeline_does_not_change_report():
+    """Per-tenant lanes are free: the timeline capture must not move
+    any reported number (it only disables replay batching)."""
+    from repro.service.service import ServiceConfig, run_service_workload
+
+    plain = run_service_workload(ServiceConfig(shards=2), tenants=8)
+    timed = run_service_workload(
+        ServiceConfig(shards=2, record_timeline=True), tenants=8
+    )
+    assert plain == timed
+
+
+def test_validate_rejects_malformed():
+    with pytest.raises(ValueError):
+        perfetto.validate({"traceEvents": [{"ph": "X", "name": "x"}]})
+    with pytest.raises(ValueError):
+        perfetto.validate({"traceEvents": "nope"})
+    with pytest.raises(ValueError):
+        perfetto.validate(
+            {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1, "tid": 1}]}
+        )
+    perfetto.validate({"traceEvents": []})  # empty is fine

@@ -1,0 +1,104 @@
+"""Prometheus exposition-format conformance for the telemetry exporter.
+
+Checks the format contract a real scraper relies on: every metric
+family carries ``# HELP`` and ``# TYPE`` headers before its first
+sample, label values are escaped per the text format (backslash,
+double-quote, line feed), histogram buckets are cumulative and end in
+``+Inf``, and every sample line parses.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.exporters import to_prometheus
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Telemetry
+
+#: one label: name="value" with only escaped specials inside the quotes
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+#: sample line: name{labels}? value
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    rf"(\{{{_LABEL}(,{_LABEL})*\}})?"
+    r" -?[0-9.eE+-]+$"
+)
+
+
+def _telemetry():
+    tel = Telemetry(registry=MetricsRegistry())
+    reg = tel.registry
+    reg.counter("writes_total", layer="data").inc(3)
+    reg.counter("writes_total", layer="log").inc(1)
+    reg.gauge("depth").set(2)
+    hist = reg.histogram("latency_ns", buckets=(10.0, 100.0))
+    for v in (5, 50, 500):
+        hist.observe(v)
+    return tel
+
+
+def test_help_and_type_for_every_family():
+    text = to_prometheus(_telemetry())
+    lines = text.splitlines()
+    suffixes = ("_bucket", "_sum", "_count")
+    for family in ("writes_total", "depth", "latency_ns"):
+        help_idx = [i for i, l in enumerate(lines)
+                    if l.startswith(f"# HELP {family} ")]
+        type_idx = [i for i, l in enumerate(lines)
+                    if l.startswith(f"# TYPE {family} ")]
+        assert len(help_idx) == 1 and len(type_idx) == 1
+        assert help_idx[0] == type_idx[0] - 1  # HELP immediately precedes TYPE
+        first_sample = min(
+            i for i, l in enumerate(lines)
+            if not l.startswith("#")
+            and l.split("{")[0].split(" ")[0] in
+            {family, *(family + s for s in suffixes)}
+        )
+        assert type_idx[0] < first_sample
+
+
+def test_label_value_escaping():
+    tel = Telemetry(registry=MetricsRegistry())
+    tel.registry.counter(
+        "weird_total", path='a"b\\c\nd'
+    ).inc()
+    text = to_prometheus(tel)
+    [sample] = [l for l in text.splitlines() if l.startswith("weird_total{")]
+    assert sample == 'weird_total{path="a\\"b\\\\c\\nd"} 1'
+    # no raw newline survives inside the rendered line
+    assert "\nd" not in sample
+
+
+def test_histogram_buckets_cumulative_with_inf():
+    text = to_prometheus(_telemetry())
+    buckets = [
+        line for line in text.splitlines() if line.startswith("latency_ns_bucket")
+    ]
+    counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+    assert counts == sorted(counts)  # cumulative
+    assert 'le="+Inf"' in buckets[-1]
+    assert counts[-1] == 3
+    assert "latency_ns_sum 555" in text
+    assert "latency_ns_count 3" in text
+
+
+def test_every_line_parses():
+    text = to_prometheus(_telemetry())
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$", line)
+        else:
+            assert _SAMPLE.match(line), f"malformed sample line: {line!r}"
+
+
+def test_real_run_conforms():
+    from repro.obs.harness import run_workload
+
+    tel = run_workload("toy-misordered", "sync").telemetry
+    text = to_prometheus(tel)
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if line and not line.startswith("#"):
+            assert _SAMPLE.match(line), f"malformed sample line: {line!r}"

@@ -1,0 +1,96 @@
+"""Multi-shard service observability: conservation and the
+disabled-mode determinism gate.
+
+The service attaches telemetry to N shards at once (one registry, N
+devices). Two contracts: the conservation laws hold per shard, and
+turning all instrumentation off — or adding flight recorders to every
+shard — changes nothing the service reports.
+"""
+
+from __future__ import annotations
+
+from repro.bench.provenance import conservation_status, provenance
+from repro.service.service import ServiceConfig, run_service_workload
+
+TENANTS = 12
+SHARDS = 3
+
+
+def _run(**overrides):
+    kwargs = dict(shards=SHARDS)
+    kwargs.update(overrides)
+    return run_service_workload(
+        ServiceConfig(**kwargs), tenants=TENANTS, ops_per_tenant=4,
+        return_service=True,
+    )
+
+
+def _durable_state(service):
+    out = []
+    for fs in service.shards:
+        device = fs.device
+        kept = sorted(device.unfenced_words())
+        out.append(
+            (vars(device.stats), bytes(device.crash_image(persist_words=kept)))
+        )
+    return out
+
+
+def test_multi_shard_conservation():
+    report, service = _run()
+    assert len(service.shards) == SHARDS
+    telemetries = [fs.obs for fs in service.shards]
+    assert all(tel.enabled for tel in telemetries)
+    assert conservation_status(telemetries) == "ok"
+    # and each shard individually
+    for tel in telemetries:
+        assert conservation_status([tel]) == "ok"
+    assert report.total_bytes > 0
+
+
+def test_disabled_mode_byte_identical():
+    """telemetry=False must not move a single reported number or byte."""
+    on_report, on_service = _run(telemetry=True)
+    off_report, off_service = _run(telemetry=False)
+    assert not any(fs.obs.enabled for fs in off_service.shards)
+    assert on_report == off_report
+    assert _durable_state(on_service) == _durable_state(off_service)
+    assert conservation_status(fs.obs for fs in off_service.shards) == "disabled"
+
+
+def test_flight_on_every_shard_is_non_perturbing():
+    plain_report, plain_service = _run()
+    wired_report, wired_service = _run(flight_capacity=128)
+    assert all(f is not None for f in wired_service.flights)
+    assert any(f.recorded > 0 for f in wired_service.flights)
+    assert plain_report == wired_report
+    assert _durable_state(plain_service) == _durable_state(wired_service)
+
+
+def test_provenance_stamp_shape():
+    _, service = _run()
+    stamp = provenance(
+        seed=42,
+        config={"tenants": TENANTS, "shards": SHARDS},
+        telemetries=[fs.obs for fs in service.shards],
+    )
+    assert stamp == {
+        "seed": 42,
+        "config_digest": stamp["config_digest"],
+        "conservation": "ok",
+    }
+    assert len(stamp["config_digest"]) == 12
+    # digest depends only on the config payload
+    again = provenance(seed=42, config={"shards": SHARDS, "tenants": TENANTS},
+                       telemetries=())
+    assert again["config_digest"] == stamp["config_digest"]
+    assert again["conservation"] == "disabled"
+
+
+def test_sweep_rows_carry_provenance():
+    from repro.service.harness import SweepSpec, run_cell
+
+    row = run_cell(SweepSpec(), tenants=8, shards=2)
+    assert row["provenance"]["seed"] == 42
+    assert row["provenance"]["conservation"] == "ok"
+    assert len(row["provenance"]["config_digest"]) == 12
